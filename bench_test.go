@@ -1,0 +1,186 @@
+// Package sfp's root benchmarks regenerate every figure of the paper's
+// evaluation (§VI) as testing.B benchmarks, reporting the headline numbers
+// as custom metrics. Each BenchmarkFigN corresponds to the experiment
+// indexed in DESIGN.md §3; `go run ./cmd/sfpexp -fig all` prints the full
+// series the figures plot.
+package sfp
+
+import (
+	"testing"
+
+	"sfp/internal/experiments"
+)
+
+// benchScale keeps the per-iteration cost of control-plane benchmarks
+// bounded; cmd/sfpexp -scale paper runs the full published parameters.
+func benchScale() experiments.Scale {
+	s := experiments.QuickScale()
+	s.Seeds = 1
+	s.Fig6Ls = []int{15}
+	s.Fig7Recircs = []int{0, 1}
+	s.Fig7L = 8
+	s.Fig8IPLs = []int{3}
+	s.Fig8ApproxLs = []int{15}
+	s.Fig8IPTimeCapSec = 10
+	s.Fig9L = 6
+	s.Fig9LimitsSec = []float64{0.01, 5}
+	s.Fig10Ls = []int{6}
+	s.Fig10IPTimeCapSec = 10
+	s.Fig11DropRates = []float64{0.5}
+	s.Fig11Allocated = 8
+	s.Fig11Candidates = 20
+	return s
+}
+
+// BenchmarkFig4ThroughputVsPacketSize regenerates Fig. 4: SFP vs DPDK
+// throughput over the packet-size sweep. Reported metrics: the 64-byte
+// packet-rate advantage (paper: ≥10×) and DPDK's 1500 B throughput
+// (paper: saturates 100 Gbps).
+func BenchmarkFig4ThroughputVsPacketSize(b *testing.B) {
+	var gap64, dpdk1500 float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig4(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap64 = tbl.Rows[0][1] / tbl.Rows[0][3]
+		dpdk1500 = tbl.Rows[len(tbl.Rows)-1][3]
+	}
+	b.ReportMetric(gap64, "x-gap@64B")
+	b.ReportMetric(dpdk1500, "dpdk-Gbps@1500B")
+}
+
+// BenchmarkFig5Latency regenerates Fig. 5: SFP ≈341 ns, +≈35 ns for three
+// recirculations, DPDK ≈1151 ns.
+func BenchmarkFig5Latency(b *testing.B) {
+	var sfp, recir, dpdk float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig5(500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sfp, recir, dpdk = 0, 0, 0
+		for _, row := range tbl.Rows {
+			sfp += row[1]
+			recir += row[2]
+			dpdk += row[3]
+		}
+		n := float64(len(tbl.Rows))
+		sfp, recir, dpdk = sfp/n, recir/n, dpdk/n
+	}
+	b.ReportMetric(sfp, "sfp-ns")
+	b.ReportMetric(recir-sfp, "recirc-overhead-ns")
+	b.ReportMetric(dpdk, "dpdk-ns")
+}
+
+// BenchmarkFig6SweepSFCs regenerates Fig. 6: throughput and utilization vs
+// candidate count, SFP against the no-consolidation baseline.
+func BenchmarkFig6SweepSFCs(b *testing.B) {
+	sc := benchScale()
+	var sfpGbps, entryGain float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig6(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := tbl.Rows[len(tbl.Rows)-1]
+		sfpGbps = row[1]
+		if row[6] > 0 {
+			entryGain = row[3] / row[6]
+		}
+	}
+	b.ReportMetric(sfpGbps, "sfp-Gbps")
+	b.ReportMetric(entryGain, "entry-util-gain")
+}
+
+// BenchmarkFig7Recirculation regenerates Fig. 7: the throughput lift from
+// allowing one recirculation on length-8 chains.
+func BenchmarkFig7Recirculation(b *testing.B) {
+	sc := benchScale()
+	var lift float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig7(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := tbl.Rows[0][1]
+		if base == 0 {
+			base = 1
+		}
+		lift = tbl.Rows[len(tbl.Rows)-1][1] / base
+	}
+	b.ReportMetric(lift, "r1-throughput-lift")
+}
+
+// BenchmarkFig8SolverRuntime regenerates Fig. 8: IP vs approximation solver
+// runtime.
+func BenchmarkFig8SolverRuntime(b *testing.B) {
+	sc := benchScale()
+	var ipSec, apSec float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig8(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tbl.Rows {
+			if row[1] == 1 {
+				ipSec = row[2]
+			} else {
+				apSec = row[2]
+			}
+		}
+	}
+	b.ReportMetric(ipSec, "ip-sec")
+	b.ReportMetric(apSec, "appro-sec")
+}
+
+// BenchmarkFig9EarlyTermination regenerates Fig. 9: cold-solver objective
+// under runtime limits (0 at the tightest, near-optimal soon after).
+func BenchmarkFig9EarlyTermination(b *testing.B) {
+	sc := benchScale()
+	var fracAtSecond float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig9(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.Rows[0][2] != 0 {
+			b.Fatalf("tightest limit produced nonzero objective %v", tbl.Rows[0][2])
+		}
+		fracAtSecond = tbl.Rows[1][4]
+	}
+	b.ReportMetric(fracAtSecond, "frac-of-best@2nd-limit")
+}
+
+// BenchmarkFig10Algorithms regenerates Fig. 10: IP ≥ Appro ≥ Greedy.
+func BenchmarkFig10Algorithms(b *testing.B) {
+	sc := benchScale()
+	var ip, ap, gr float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		row := tbl.Rows[len(tbl.Rows)-1]
+		ip, ap, gr = row[1], row[2], row[3]
+	}
+	b.ReportMetric(ip, "ip-Gbps")
+	b.ReportMetric(ap, "appro-Gbps")
+	b.ReportMetric(gr, "greedy-Gbps")
+}
+
+// BenchmarkFig11RuntimeUpdate regenerates Fig. 11: post-update throughput
+// relative to the pre-update state.
+func BenchmarkFig11RuntimeUpdate(b *testing.B) {
+	sc := benchScale()
+	var updated, origin float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig11(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		updated, origin = tbl.Rows[0][1], tbl.Rows[0][2]
+	}
+	b.ReportMetric(updated, "updated-Gbps")
+	b.ReportMetric(origin, "origin-Gbps")
+}

@@ -1,0 +1,125 @@
+// Command sfpctl runs SFP's control-plane placement over an SFC dataset
+// (as produced by sfcgen) and prints the placement plan and its metrics.
+//
+// Usage:
+//
+//	sfpctl -algo appro -chains chains.json
+//	sfpctl -algo ip -time-limit 30s -chains chains.json
+//	sfpctl -algo greedy -no-consolidate -chains chains.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sfp/internal/model"
+	"sfp/internal/placement"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "appro", "placement algorithm: ip | appro | greedy")
+		chainsF   = flag.String("chains", "", "SFC dataset JSON (required)")
+		stages    = flag.Int("stages", 8, "physical pipeline stages (S)")
+		blocks    = flag.Int("blocks", 20, "memory blocks per stage (B)")
+		entries   = flag.Int("entries", 1000, "entries per block (E)")
+		capGbps   = flag.Float64("capacity", 400, "backplane capacity Gbps (C)")
+		recirc    = flag.Int("recirc", 2, "allowed recirculation times (R)")
+		noConsol  = flag.Bool("no-consolidate", false, "disable same-type NF consolidation (Eq. 25 memory)")
+		timeLimit = flag.Duration("time-limit", 60*time.Second, "IP solver time limit")
+		seed      = flag.Int64("seed", 1, "randomized-rounding seed")
+	)
+	flag.Parse()
+	if *chainsF == "" {
+		fmt.Fprintln(os.Stderr, "sfpctl: -chains is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*chainsF)
+	if err != nil {
+		fatal(err)
+	}
+	var chains []*model.Chain
+	if err := json.Unmarshal(raw, &chains); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *chainsF, err))
+	}
+	in := &model.Instance{
+		Switch: model.SwitchConfig{
+			Stages: *stages, BlocksPerStage: *blocks,
+			EntriesPerBlock: *entries, CapacityGbps: *capGbps,
+		},
+		NumTypes: maxType(chains),
+		Recirc:   *recirc,
+		Chains:   chains,
+	}
+	if err := in.Validate(); err != nil {
+		fatal(err)
+	}
+
+	build := model.BuildOptions{Consolidate: !*noConsol}
+	var res *placement.Result
+	switch *algo {
+	case "ip":
+		res, err = placement.SolveIP(in, placement.IPOptions{Build: build, TimeLimit: *timeLimit})
+	case "appro":
+		res, err = placement.SolveApprox(in, placement.ApproxOptions{Build: build, Seed: *seed})
+	case "greedy":
+		res, err = placement.SolveGreedy(in, placement.GreedyOptions{Consolidate: !*noConsol})
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.Assignment == nil {
+		fatal(fmt.Errorf("no assignment produced (%s)", res.Status))
+	}
+
+	fmt.Printf("algorithm:    %s (%s, %.2fs)\n", *algo, res.Status, res.Elapsed.Seconds())
+	fmt.Printf("objective:    %.1f (Eq. 1)\n", res.Objective)
+	m := res.Metrics
+	fmt.Printf("throughput:   %.1f Gbps offloaded, %.1f Gbps backplane load (C=%.0f)\n",
+		m.ThroughputGbps, m.BackplaneGbps, *capGbps)
+	fmt.Printf("deployed:     %d / %d chains\n", m.Deployed, len(chains))
+	fmt.Printf("blocks/stage: %v (util %.1f of %d)\n", m.BlocksPerStage, m.BlockUtil, *blocks)
+	fmt.Printf("entries:      %d used, %.1f%% of allocated blocks\n", m.EntriesUsed, 100*m.EntryUtil)
+
+	fmt.Println("\nphysical NF layout (type@stage):")
+	for i := range res.Assignment.X {
+		for s, on := range res.Assignment.X[i] {
+			if on {
+				fmt.Printf("  type %-2d @ stage %d\n", i+1, s)
+			}
+		}
+	}
+	fmt.Println("\nchain placements (virtual stage = pass*S + stage):")
+	for l, c := range chains {
+		if !res.Assignment.Deployed(l) {
+			fmt.Printf("  chain %-3d NOT deployed (T=%.1f Gbps)\n", c.ID, c.BandwidthGbps)
+			continue
+		}
+		fmt.Printf("  chain %-3d T=%.1f Gbps passes=%d stages=%v\n",
+			c.ID, c.BandwidthGbps, res.Assignment.Passes(l, *stages), res.Assignment.Stages[l])
+	}
+}
+
+func maxType(chains []*model.Chain) int {
+	m := 1
+	for _, c := range chains {
+		for _, b := range c.NFs {
+			if b.Type > m {
+				m = b.Type
+			}
+		}
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfpctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command sfpd runs the switch-side SFP daemon: a simulated programmable
+// switch data plane fronted by the p4rt control API over TCP. Controllers
+// (cmd/sfpctl-driven scripts, the examples/controller program, or any
+// p4rt.Client) install physical NFs and tenant SFCs against it.
+//
+// Usage:
+//
+//	sfpd -listen :9559 -stages 8 -blocks 20 -entries 1000 -capacity 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sfp/internal/p4rt"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:9559", "TCP listen address")
+		stages  = flag.Int("stages", 8, "physical pipeline stages")
+		blocks  = flag.Int("blocks", 20, "memory blocks per stage")
+		entries = flag.Int("entries", 1000, "entries per block")
+		capGbps = flag.Float64("capacity", 400, "backplane capacity Gbps")
+		passes  = flag.Int("max-passes", 4, "maximum recirculation passes")
+	)
+	flag.Parse()
+
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = *stages
+	cfg.BlocksPerStage = *blocks
+	cfg.EntriesPerBlock = *entries
+	cfg.CapacityGbps = *capGbps
+	cfg.MaxPasses = *passes
+
+	v := vswitch.New(pipeline.New(cfg))
+	srv := p4rt.NewServer(&p4rt.VSwitchTarget{V: v})
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfpd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sfpd: serving %d-stage switch (B=%d E=%d C=%.0fGbps) on %s\n",
+		*stages, *blocks, *entries, *capGbps, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sfpd: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,145 @@
+// Command sfpload drives a remote SFP switch daemon (cmd/sfpd) end to end:
+// it installs a physical layout and a tenant SFC over the p4rt API, then
+// injects a stream of VLAN-tagged packets and reports throughput-model and
+// latency statistics, including per-size breakdowns of the Fig. 4/5 sweep.
+//
+// Usage:
+//
+//	sfpd -listen 127.0.0.1:9559 &
+//	sfpload -addr 127.0.0.1:9559 -tenant 7 -packets 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/p4rt"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/traffic"
+	"sfp/internal/vswitch"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9559", "sfpd address")
+		tenant  = flag.Uint("tenant", 7, "tenant / VLAN ID")
+		n       = flag.Int("packets", 5000, "packets per size")
+		setup   = flag.Bool("setup", true, "install physical NFs and the demo SFC first")
+		seed    = flag.Int64("seed", 1, "flow RNG seed")
+		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
+	)
+	flag.Parse()
+
+	cli, err := p4rt.Dial(*addr, *timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		fatal(fmt.Errorf("ping: %w", err))
+	}
+
+	vip := packet.IPv4Addr(20, 0, 0, 1)
+	if *setup {
+		for stage, typ := range []nf.Type{nf.Firewall, nf.TrafficClassifier, nf.LoadBalancer, nf.Router} {
+			if err := cli.InstallPhysical(stage, typ, 1000); err != nil {
+				fmt.Fprintf(os.Stderr, "sfpload: install %v@%d: %v (continuing)\n", typ, stage, err)
+			}
+		}
+		sfc := demoSFC(uint32(*tenant), vip)
+		if _, _, err := cli.Allocate(sfc); err != nil {
+			fmt.Fprintf(os.Stderr, "sfpload: allocate: %v (continuing)\n", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	gen := traffic.NewFlowGen(rng, uint32(*tenant), vip, 128)
+	fmt.Printf("%-9s %-10s %-10s %-10s %-8s %-8s\n", "bytes", "p50_ns", "p99_ns", "mean_ns", "passes", "drops")
+	for _, size := range traffic.PacketSizes {
+		lats := make([]float64, 0, *n)
+		drops, passes := 0, 0
+		for i := 0; i < *n; i++ {
+			p := gen.Next(size)
+			// Tag the tenant in the VLAN header so the wire carries it.
+			p.HasVLAN = true
+			p.VLAN.VID = uint16(*tenant) & 0x0fff
+			p.VLAN.EtherType = packet.EtherTypeIPv4
+			p.Eth.EtherType = packet.EtherTypeVLAN
+			res, err := cli.Inject(packet.Deparse(p), float64(i)*1000)
+			if err != nil {
+				fatal(err)
+			}
+			if res.Dropped {
+				drops++
+				continue
+			}
+			lats = append(lats, res.LatencyNs)
+			passes = res.Passes
+		}
+		sort.Float64s(lats)
+		fmt.Printf("%-9d %-10.0f %-10.0f %-10.0f %-8d %-8d\n",
+			size, pct(lats, 0.50), pct(lats, 0.99), meanOf(lats), passes, drops)
+	}
+
+	st, err := cli.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nswitch: %d tenants, %d entries, %d processed, %d recirculated, line rate %.1f Mpps at 64B\n",
+		st.Tenants, st.EntriesUsed, st.Processed, st.Recirculated,
+		pipeline.LineRatePPS(100, 64)/1e6)
+}
+
+func demoSFC(tenant uint32, vip uint32) *vswitch.SFC {
+	return &vswitch.SFC{
+		Tenant: tenant, BandwidthGbps: 50,
+		NFs: []*nf.Config{
+			{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+				Action:  "permit",
+			}}},
+			{Type: nf.TrafficClassifier, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Between(0, 65535)},
+				Action:  "set_class", Params: []uint64{2},
+			}}},
+			{Type: nf.LoadBalancer, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Eq(uint64(vip)), pipeline.Eq(80)},
+				Action:  "dnat", Params: []uint64{uint64(packet.IPv4Addr(10, 8, 0, 1)), 0},
+			}}},
+			{Type: nf.Router, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Prefix(uint64(packet.IPv4Addr(10, 0, 0, 0)), 8)},
+				Action:  "fwd", Params: []uint64{3},
+			}}},
+		},
+	}
+}
+
+func pct(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sfpload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package sfp is a from-scratch Go reproduction of "SFP: Service Function
+// Chain Provision on Programmable Switches for Cloud Tenants" (IPPS 2022):
+// a virtualized programmable-switch data plane that hosts multiple tenants'
+// service function chains on shared physical NFs, and a control plane that
+// jointly optimizes physical and logical NF placement by integer
+// programming with LP-relaxation rounding and greedy alternatives.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B benchmark per figure of the paper's evaluation. The library
+// lives under internal/ (see README.md for the architecture map), the
+// runnable tools under cmd/, and usage examples under examples/.
+package sfp

@@ -1,0 +1,3 @@
+module sfp
+
+go 1.22

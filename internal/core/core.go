@@ -1,0 +1,387 @@
+// Package core is the SFP system facade: the controller that runs the
+// control-plane placement algorithms (internal/placement) and realizes
+// their output on the virtualized data plane (internal/vswitch).
+//
+// A Controller owns one switch. Provision performs the initial joint
+// placement of physical NFs and tenant SFCs; Depart and Arrive implement
+// runtime update (§V-E) — departures release rules immediately, arrivals
+// are placed incrementally against the pinned physical layout, and
+// ReconfigureIfStale falls back to a full rebuild when the incremental
+// state drifts too far from the global optimum.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sfp/internal/model"
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/placement"
+	"sfp/internal/vswitch"
+)
+
+// Algorithm selects the placement solver.
+type Algorithm int
+
+// Solvers.
+const (
+	// AlgoIP is the exact integer program ("SFP-IP").
+	AlgoIP Algorithm = iota
+	// AlgoApprox is LP relaxation + randomized rounding ("SFP-Appro.").
+	AlgoApprox
+	// AlgoGreedy is the Algorithm-2 heuristic.
+	AlgoGreedy
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoIP:
+		return "sfp-ip"
+	case AlgoApprox:
+		return "sfp-appro"
+	case AlgoGreedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// Options configures a controller.
+type Options struct {
+	// Pipeline is the switch hardware description.
+	Pipeline pipeline.Config
+	// Consolidate selects the Eq. 11 memory model (recommended).
+	Consolidate bool
+	// Recirc is the allowed recirculation count R for placement.
+	Recirc int
+	// Algorithm picks the solver for Provision.
+	Algorithm Algorithm
+	// SolverTimeLimit bounds IP solves (Provision with AlgoIP and every
+	// incremental replan). Zero means 10s — unbounded exact solves are a
+	// foot-gun on anything beyond toy sizes.
+	SolverTimeLimit time.Duration
+	// Seed drives the randomized rounding.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Pipeline.Stages == 0 {
+		o.Pipeline = pipeline.DefaultConfig()
+	}
+	if o.SolverTimeLimit == 0 {
+		o.SolverTimeLimit = 10 * time.Second
+	}
+	if o.Recirc == 0 {
+		o.Recirc = o.Pipeline.MaxPasses - 1
+	}
+	return o
+}
+
+// Controller is the SFP control plane bound to one data plane.
+type Controller struct {
+	opts Options
+	v    *vswitch.VSwitch
+
+	updater *placement.Updater
+	// sfcs maps tenant ID to its full SFC definition.
+	sfcs map[uint32]*vswitch.SFC
+	// placed tracks tenants currently installed in the data plane.
+	placed map[uint32]bool
+}
+
+// New creates a controller with an empty switch.
+func New(opts Options) *Controller {
+	opts = opts.withDefaults()
+	return &Controller{
+		opts:   opts,
+		v:      vswitch.New(pipeline.New(opts.Pipeline)),
+		sfcs:   make(map[uint32]*vswitch.SFC),
+		placed: make(map[uint32]bool),
+	}
+}
+
+// VSwitch exposes the data plane (for sending packets in tests/examples).
+func (c *Controller) VSwitch() *vswitch.VSwitch { return c.v }
+
+// buildInstance derives the placement instance from SFC definitions.
+func (c *Controller) buildInstance(sfcs []*vswitch.SFC) *model.Instance {
+	in := &model.Instance{
+		Switch: model.SwitchConfig{
+			Stages:          c.opts.Pipeline.Stages,
+			BlocksPerStage:  c.opts.Pipeline.BlocksPerStage,
+			EntriesPerBlock: c.opts.Pipeline.EntriesPerBlock,
+			CapacityGbps:    c.opts.Pipeline.CapacityGbps,
+		},
+		NumTypes: nf.TypeCount,
+		Recirc:   c.opts.Recirc,
+	}
+	for _, s := range sfcs {
+		ch := &model.Chain{ID: int(s.Tenant), BandwidthGbps: s.BandwidthGbps}
+		for _, cfg := range s.NFs {
+			rules := len(cfg.Rules)
+			if rules == 0 {
+				rules = 1
+			}
+			ch.NFs = append(ch.NFs, model.ChainNF{Type: int(cfg.Type), Rules: rules})
+		}
+		in.Chains = append(in.Chains, ch)
+	}
+	return in
+}
+
+// solve runs the configured algorithm.
+func (c *Controller) solve(in *model.Instance) (*placement.Result, error) {
+	build := model.BuildOptions{Consolidate: c.opts.Consolidate}
+	switch c.opts.Algorithm {
+	case AlgoIP:
+		return placement.SolveIP(in, placement.IPOptions{Build: build, TimeLimit: c.opts.SolverTimeLimit})
+	case AlgoApprox:
+		return placement.SolveApprox(in, placement.ApproxOptions{Build: build, Seed: c.opts.Seed})
+	case AlgoGreedy:
+		return placement.SolveGreedy(in, placement.GreedyOptions{Consolidate: c.opts.Consolidate})
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", c.opts.Algorithm)
+}
+
+// Provision performs the initial joint placement for a batch of tenant
+// SFCs and installs the result on the switch. Tenants the optimizer leaves
+// out (resources!) remain known as candidates for later replans. It returns
+// the achieved metrics.
+func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
+	for _, s := range sfcs {
+		if _, dup := c.sfcs[s.Tenant]; dup {
+			return model.Metrics{}, fmt.Errorf("core: tenant %d already provisioned", s.Tenant)
+		}
+	}
+	if c.updater != nil {
+		return model.Metrics{}, fmt.Errorf("core: already provisioned; use Arrive/Depart")
+	}
+	in := c.buildInstance(sfcs)
+	res, err := c.solve(in)
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	if res.Assignment == nil {
+		return model.Metrics{}, fmt.Errorf("core: solver produced no assignment (%s)", res.Status)
+	}
+	for _, s := range sfcs {
+		c.sfcs[s.Tenant] = s
+	}
+	if err := c.install(in, res.Assignment, sfcs); err != nil {
+		return model.Metrics{}, err
+	}
+	build := model.BuildOptions{Consolidate: c.opts.Consolidate}
+	c.updater, err = placement.NewUpdater(in, res.Assignment, build)
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	return res.Metrics, nil
+}
+
+// install realizes an assignment on the (empty or partially filled) data
+// plane: physical NFs sized to their assigned rules, then tenant rules.
+func (c *Controller) install(in *model.Instance, a *model.Assignment, sfcs []*vswitch.SFC) error {
+	S := in.Switch.Stages
+	E := in.Switch.EntriesPerBlock
+
+	// Required capacity per (type, stage) from the assignment.
+	need := map[[2]int]int{}
+	for l, ch := range in.Chains {
+		if !a.Deployed(l) {
+			continue
+		}
+		hasTail := map[int]bool{}
+		for j, k := range a.Stages[l] {
+			need[[2]int{ch.NFs[j].Type, k % S}] += ch.NFs[j].Rules
+			// The tail NF of a non-final pass also carries the tenant's
+			// catch-all REC rule (one extra entry).
+			if j+1 < len(a.Stages[l]) && a.Stages[l][j+1]/S > k/S {
+				need[[2]int{ch.NFs[j].Type, k % S}]++
+				hasTail[k/S] = true
+			}
+		}
+		// Steering catch-alls for tail-less passes live in the first NF's
+		// table (see vswitch.AllocateAt).
+		first := [2]int{ch.NFs[0].Type, a.Stages[l][0] % S}
+		for p := 0; p < a.Passes(l, S)-1; p++ {
+			if !hasTail[p] {
+				need[first]++
+			}
+		}
+	}
+	// Install or grow physical NFs. Block-align capacities so the reserved
+	// memory matches the model's accounting.
+	for i := 1; i <= in.NumTypes; i++ {
+		for s := 0; s < S; s++ {
+			if !a.X[i-1][s] {
+				continue
+			}
+			capacity := need[[2]int{i, s}]
+			if capacity > 0 {
+				capacity = (capacity + E - 1) / E * E
+			}
+			typ := nf.Type(i)
+			if existing := c.v.FindPhysical(s, typ); existing != nil {
+				if capacity > existing.Table.Capacity {
+					if err := c.v.Pipe.Stages[s].GrowTable(existing.Table.Name, capacity); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if _, err := c.v.InstallPhysicalNF(s, typ, capacity); err != nil {
+				return err
+			}
+		}
+	}
+	// Install tenant rules at the optimizer's placements.
+	byTenant := map[uint32]*vswitch.SFC{}
+	for _, s := range sfcs {
+		byTenant[s.Tenant] = s
+	}
+	for l, ch := range in.Chains {
+		if !a.Deployed(l) {
+			continue
+		}
+		sfc, ok := byTenant[uint32(ch.ID)]
+		if !ok || c.placed[sfc.Tenant] {
+			continue
+		}
+		placements := make([]vswitch.Placement, len(a.Stages[l]))
+		for j, k := range a.Stages[l] {
+			placements[j] = vswitch.Placement{
+				NFIndex: j,
+				Type:    nf.Type(ch.NFs[j].Type),
+				Stage:   k % S,
+				Pass:    k / S,
+			}
+		}
+		if _, err := c.v.AllocateAt(sfc, placements); err != nil {
+			return fmt.Errorf("core: installing tenant %d: %w", sfc.Tenant, err)
+		}
+		c.placed[sfc.Tenant] = true
+	}
+	return nil
+}
+
+// Depart removes a tenant from both planes.
+func (c *Controller) Depart(tenant uint32) error {
+	if c.updater == nil {
+		return fmt.Errorf("core: not provisioned")
+	}
+	if _, known := c.sfcs[tenant]; !known {
+		return fmt.Errorf("core: unknown tenant %d", tenant)
+	}
+	if c.placed[tenant] {
+		if err := c.v.Deallocate(tenant); err != nil {
+			return err
+		}
+		delete(c.placed, tenant)
+		if err := c.updater.Depart(int(tenant)); err != nil {
+			return err
+		}
+	}
+	delete(c.sfcs, tenant)
+	return nil
+}
+
+// Arrive registers a new tenant SFC and replans incrementally: survivors
+// stay where they are; the arrival (and any earlier waiting candidates)
+// are placed into free resources. It reports whether this tenant was
+// placed.
+func (c *Controller) Arrive(sfc *vswitch.SFC) (bool, error) {
+	if c.updater == nil {
+		return false, fmt.Errorf("core: not provisioned")
+	}
+	if _, dup := c.sfcs[sfc.Tenant]; dup {
+		return false, fmt.Errorf("core: tenant %d already known", sfc.Tenant)
+	}
+	ch := c.buildInstance([]*vswitch.SFC{sfc}).Chains[0]
+	if err := c.updater.Arrive(ch); err != nil {
+		return false, err
+	}
+	c.sfcs[sfc.Tenant] = sfc
+	if _, err := c.updater.Replan(placement.ReplanOptions{TimeLimit: c.opts.SolverTimeLimit}); err != nil {
+		return false, err
+	}
+	// Realize every newly live chain in the data plane.
+	in, a, _ := c.updater.Current()
+	var newSFCs []*vswitch.SFC
+	for l, chain := range in.Chains {
+		if a.Deployed(l) && !c.placed[uint32(chain.ID)] {
+			if s, ok := c.sfcs[uint32(chain.ID)]; ok {
+				newSFCs = append(newSFCs, s)
+			}
+		}
+		_ = l
+	}
+	if err := c.install(in, a, newSFCs); err != nil {
+		return false, err
+	}
+	return c.placed[sfc.Tenant], nil
+}
+
+// Metrics returns the current placement metrics.
+func (c *Controller) Metrics() (model.Metrics, error) {
+	if c.updater == nil {
+		return model.Metrics{}, fmt.Errorf("core: not provisioned")
+	}
+	_, _, m := c.updater.Current()
+	return m, nil
+}
+
+// ReconfigureIfStale compares the incremental state against a fresh global
+// optimization and rebuilds the whole data plane when the objective gap
+// exceeds the threshold (§V-E: "once the distance between the current
+// configuration and the optimal one exceeds the threshold, the whole SFCs
+// and pipeline would be automatically re-configured"). Returns whether a
+// rebuild happened.
+func (c *Controller) ReconfigureIfStale(threshold float64) (bool, error) {
+	if c.updater == nil {
+		return false, fmt.Errorf("core: not provisioned")
+	}
+	did, _, err := c.updater.MaybeReconfigure(threshold, placement.ReplanOptions{TimeLimit: c.opts.SolverTimeLimit})
+	if err != nil || !did {
+		return false, err
+	}
+	// Full rebuild: fresh pipeline, reinstall everything at the new
+	// placements (the disruptive path the paper warns costs a reboot).
+	c.v = vswitch.New(pipeline.New(c.opts.Pipeline))
+	c.placed = make(map[uint32]bool)
+	in, a, _ := c.updater.Current()
+	var all []*vswitch.SFC
+	for _, s := range c.sfcs {
+		all = append(all, s)
+	}
+	if err := c.install(in, a, all); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// ReplayProcessor adapts the controller's data plane to traffic.Replay, so
+// captured or synthesized traces can be replayed against a provisioned
+// switch and aggregated into latency/drop statistics.
+type ReplayProcessor struct {
+	V *vswitch.VSwitch
+}
+
+// Process implements traffic.Processor.
+func (r ReplayProcessor) Process(p *packet.Packet, nowNs float64) (float64, int, bool) {
+	res := r.V.Process(p, nowNs)
+	return res.LatencyNs, res.Passes, res.Dropped
+}
+
+// Replayer returns a trace processor bound to this controller's switch.
+func (c *Controller) Replayer() ReplayProcessor { return ReplayProcessor{V: c.v} }
+
+// PlacedTenants returns the tenants currently installed in the data plane.
+func (c *Controller) PlacedTenants() []uint32 {
+	out := make([]uint32, 0, len(c.placed))
+	for t := range c.placed {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/traffic"
+	"sfp/internal/vswitch"
+)
+
+func testOptions(algo Algorithm) Options {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 4
+	cfg.MaxPasses = 3
+	return Options{
+		Pipeline:        cfg,
+		Consolidate:     true,
+		Recirc:          2,
+		Algorithm:       algo,
+		SolverTimeLimit: 10 * time.Second,
+		Seed:            1,
+	}
+}
+
+// smallBatch builds runnable SFCs from a synthetic chain set.
+func smallBatch(seed int64, n int) []*vswitch.SFC {
+	rng := rand.New(rand.NewSource(seed))
+	chains := traffic.GenChains(rng, n, traffic.ChainParams{
+		NumTypes: nf.TypeCount, MeanLen: 3, RuleMin: 5, RuleMax: 20,
+	})
+	out := make([]*vswitch.SFC, 0, n)
+	for _, c := range chains {
+		out = append(out, traffic.ToSFC(rng, c, 20))
+	}
+	return out
+}
+
+func TestProvisionGreedyEndToEnd(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoGreedy, AlgoApprox} {
+		t.Run(algo.String(), func(t *testing.T) {
+			c := New(testOptions(algo))
+			batch := smallBatch(1, 5)
+			m, err := c.Provision(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Deployed == 0 {
+				t.Fatal("nothing deployed")
+			}
+			if len(c.PlacedTenants()) != m.Deployed {
+				t.Errorf("placed=%d metrics.Deployed=%d", len(c.PlacedTenants()), m.Deployed)
+			}
+			// Every placed tenant's packets traverse with the pass count the
+			// model predicted.
+			for _, tenant := range c.PlacedTenants() {
+				alloc := c.VSwitch().Allocations(tenant)
+				if alloc == nil {
+					t.Fatalf("tenant %d placed but no allocation", tenant)
+				}
+				p := packet.NewBuilder().
+					WithTenant(tenant).
+					WithIPv4(packet.IPv4Addr(10, 0, 0, 1), packet.IPv4Addr(10, 0, 0, 2)).
+					WithTCP(1234, 80).
+					Build()
+				res := c.VSwitch().Process(p, 0)
+				if res.Passes != alloc.Passes {
+					t.Errorf("tenant %d: packet passes %d, allocation passes %d",
+						tenant, res.Passes, alloc.Passes)
+				}
+			}
+			// Data-plane bandwidth accounting matches the model's backplane.
+			if got, want := c.VSwitch().BandwidthUsed(), m.BackplaneGbps; got < want-1e-6 || got > want+1e-6 {
+				t.Errorf("vswitch bandwidth %v, model backplane %v", got, want)
+			}
+		})
+	}
+}
+
+func TestProvisionValidation(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	batch := smallBatch(2, 3)
+	if _, err := c.Provision(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Provision(batch); err == nil {
+		t.Error("double provision accepted")
+	}
+	if _, err := c.Metrics(); err != nil {
+		t.Errorf("Metrics: %v", err)
+	}
+	c2 := New(testOptions(AlgoGreedy))
+	if _, err := c2.Metrics(); err == nil {
+		t.Error("Metrics before provision accepted")
+	}
+	if err := c2.Depart(1); err == nil {
+		t.Error("Depart before provision accepted")
+	}
+}
+
+func TestDepartFreesDataPlane(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	batch := smallBatch(3, 4)
+	if _, err := c.Provision(batch); err != nil {
+		t.Fatal(err)
+	}
+	placed := c.PlacedTenants()
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+	victim := placed[0]
+	entriesBefore := c.VSwitch().Pipe.EntriesUsed()
+	if err := c.Depart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if c.VSwitch().Pipe.EntriesUsed() >= entriesBefore {
+		t.Error("departure did not free entries")
+	}
+	if c.VSwitch().Allocations(victim) != nil {
+		t.Error("allocation still present")
+	}
+	if err := c.Depart(victim); err == nil {
+		t.Error("double departure accepted")
+	}
+}
+
+func TestArrivePlacesIncrementally(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	if _, err := c.Provision(smallBatch(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.Metrics()
+
+	// A tiny, cheap SFC should fit in the leftovers.
+	newcomer := &vswitch.SFC{
+		Tenant:        900,
+		BandwidthGbps: 1,
+		NFs: []*nf.Config{
+			{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+				Action:  "permit",
+			}}},
+		},
+	}
+	placedNow, err := c.Arrive(newcomer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !placedNow {
+		t.Fatal("tiny arrival not placed")
+	}
+	after, _ := c.Metrics()
+	if after.Objective <= before.Objective {
+		t.Errorf("objective did not grow: %v -> %v", before.Objective, after.Objective)
+	}
+	// The newcomer's traffic is actually processed.
+	p := packet.NewBuilder().WithTenant(900).WithIPv4(1, 2).WithTCP(1, 2).Build()
+	res := c.VSwitch().Process(p, 0)
+	alloc := c.VSwitch().Allocations(900)
+	if alloc == nil || res.Passes != alloc.Passes {
+		t.Error("newcomer not installed correctly")
+	}
+	if _, err := c.Arrive(newcomer); err == nil {
+		t.Error("duplicate arrival accepted")
+	}
+}
+
+func TestReconfigureIfStale(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	if _, err := c.Provision(smallBatch(5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Remove everything, then reconfigure: with no candidates waiting the
+	// state stays optimal and no rebuild happens.
+	did, err := c.ReconfigureIfStale(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = did // either outcome is legal here; the call must simply not error.
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data plane and model agree after whatever happened.
+	if got := c.VSwitch().BandwidthUsed(); got < m.BackplaneGbps-1e-6 || got > m.BackplaneGbps+1e-6 {
+		t.Errorf("bandwidth %v vs model %v after reconfigure", got, m.BackplaneGbps)
+	}
+}
+
+func TestTraceReplayThroughController(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	batch := smallBatch(6, 4)
+	if _, err := c.Provision(batch); err != nil {
+		t.Fatal(err)
+	}
+	placed := c.PlacedTenants()
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+
+	// Synthesize a trace for the placed tenants and replay it.
+	rng := rand.New(rand.NewSource(8))
+	var gens []*traffic.FlowGen
+	for _, tenant := range placed {
+		gens = append(gens, traffic.NewFlowGen(rng, tenant, packet.IPv4Addr(20, 0, 0, 1), 8))
+	}
+	var buf bytes.Buffer
+	tw := traffic.NewTraceWriter(&buf)
+	if err := traffic.SynthesizeTrace(tw, gens, traffic.IMCMix(), 400, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	st, err := traffic.Replay(traffic.NewTraceReader(&buf), c.Replayer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 400 {
+		t.Fatalf("replayed %d packets", st.Packets)
+	}
+	if st.MeanLatency < 245 {
+		t.Errorf("mean latency %v below the parser+deparser floor", st.MeanLatency)
+	}
+	for _, tenant := range placed {
+		alloc := c.VSwitch().Allocations(tenant)
+		if alloc != nil && alloc.Passes > st.MaxPasses {
+			t.Errorf("replay max passes %d below tenant %d's allocation %d",
+				st.MaxPasses, tenant, alloc.Passes)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sfp/internal/model"
+	"sfp/internal/placement"
+)
+
+// fig6Point solves one dataset with and without consolidation and returns
+// (throughput, blockUtil, entryUtil) per variant.
+func fig6Point(in *model.Instance, seed int64) (cons, frag [3]float64, err error) {
+	resC, err := placement.SolveApprox(in, placement.ApproxOptions{
+		Build: model.BuildOptions{Consolidate: true}, Seed: seed,
+	})
+	if err != nil {
+		return cons, frag, err
+	}
+	resF, err := placement.SolveApprox(in, placement.ApproxOptions{
+		Build: model.BuildOptions{Consolidate: false}, Seed: seed,
+	})
+	if err != nil {
+		return cons, frag, err
+	}
+	cons = [3]float64{resC.Metrics.ThroughputGbps, resC.Metrics.BlockUtil, resC.Metrics.EntryUtil}
+	frag = [3]float64{resF.Metrics.ThroughputGbps, resF.Metrics.BlockUtil, resF.Metrics.EntryUtil}
+	return cons, frag, nil
+}
+
+// Fig6 reproduces the candidate-count sweep (Figs. 6a and 6b): throughput,
+// block utilization and entry utilization of SFP against SFP without NF
+// consolidation ("Baseline"), varying the number of SFC candidates.
+func Fig6(scale Scale) (*Table, error) {
+	t := &Table{
+		Title: "Fig. 6: throughput and resource utilization vs number of SFC candidates (SFP vs no-consolidation baseline)",
+		Columns: []string{
+			"L",
+			"sfp_gbps", "sfp_block_util", "sfp_entry_util",
+			"base_gbps", "base_block_util", "base_entry_util",
+		},
+	}
+	for _, L := range scale.Fig6Ls {
+		var c0, c1, c2, f0, f1, f2 []float64
+		for s := 0; s < scale.Seeds; s++ {
+			in := genInstance(int64(100*L+s), L, scale.MeanChainLen, 3)
+			cons, frag, err := fig6Point(in, int64(s))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 L=%d seed=%d: %w", L, s, err)
+			}
+			c0, c1, c2 = append(c0, cons[0]), append(c1, cons[1]), append(c2, cons[2])
+			f0, f1, f2 = append(f0, frag[0]), append(f1, frag[1]), append(f2, frag[2])
+		}
+		t.Rows = append(t.Rows, []float64{
+			float64(L), mean(c0), mean(c1), mean(c2), mean(f0), mean(f1), mean(f2),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("averaged over %d datasets per point; S=8 B=20 E=1000 C=400Gbps I=10 Jbar=%d R<=3", scale.Seeds, scale.MeanChainLen),
+		"paper shape: blocks saturate near B=20 early; throughput grows with L; consolidation wins on entry utilization")
+	return t, nil
+}
+
+// Fig7 reproduces the recirculation sweep: allowing one recirculation
+// lifts throughput; further recirculations plateau. Chains are fixed at
+// length 8 on an 8-stage switch so a single pass is tight (§VI-C).
+func Fig7(scale Scale) (*Table, error) {
+	t := &Table{
+		Title: "Fig. 7: throughput and resource utilization vs recirculation times (virtual pipeline K = 8..)",
+		Columns: []string{
+			"recirc",
+			"sfp_gbps", "sfp_block_util", "sfp_entry_util",
+			"base_gbps", "base_block_util", "base_entry_util",
+		},
+	}
+	for _, R := range scale.Fig7Recircs {
+		var c0, c1, c2, f0, f1, f2 []float64
+		for s := 0; s < scale.Seeds; s++ {
+			in := genInstanceFixedLen(int64(700+s), scale.Fig7L, scale.Fig7ChainLen, R)
+			resC, err := placement.SolveApprox(in, placement.ApproxOptions{
+				Build: model.BuildOptions{Consolidate: true}, Seed: int64(s),
+			})
+			if err != nil {
+				return nil, err
+			}
+			resF, err := placement.SolveApprox(in, placement.ApproxOptions{
+				Build: model.BuildOptions{Consolidate: false}, Seed: int64(s),
+			})
+			if err != nil {
+				return nil, err
+			}
+			c0 = append(c0, resC.Metrics.ThroughputGbps)
+			c1 = append(c1, resC.Metrics.BlockUtil)
+			c2 = append(c2, resC.Metrics.EntryUtil)
+			f0 = append(f0, resF.Metrics.ThroughputGbps)
+			f1 = append(f1, resF.Metrics.BlockUtil)
+			f2 = append(f2, resF.Metrics.EntryUtil)
+		}
+		t.Rows = append(t.Rows, []float64{
+			float64(R), mean(c0), mean(c1), mean(c2), mean(f0), mean(f1), mean(f2),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("L=%d chains of exactly %d NFs; same dataset across recirculation budgets", scale.Fig7L, scale.Fig7ChainLen),
+		"paper shape: R=0 strands length-8 chains; R=1 unlocks most throughput; R>1 plateaus")
+	return t, nil
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps experiment tests fast while exercising every code path.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.Seeds = 1
+	s.Fig6Ls = []int{8}
+	s.Fig7Recircs = []int{0, 1}
+	s.Fig7L = 5
+	s.Fig8IPLs = []int{2}
+	s.Fig8ApproxLs = []int{8}
+	s.Fig8IPTimeCapSec = 5
+	s.Fig9L = 4
+	s.Fig9LimitsSec = []float64{0.01, 5}
+	s.Fig10Ls = []int{4}
+	s.Fig10IPTimeCapSec = 5
+	s.Fig11DropRates = []float64{0.5}
+	s.Fig11Allocated = 5
+	s.Fig11Candidates = 12
+	return s
+}
+
+func TestFig4Shape(t *testing.T) {
+	tbl, err := Fig4(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		size, sfp, dpdk := row[0], row[1], row[3]
+		if sfp < 99.9 {
+			t.Errorf("%vB: SFP %v Gbps, want line rate", size, sfp)
+		}
+		if dpdk > sfp+1e-9 {
+			t.Errorf("%vB: DPDK %v beats SFP %v", size, dpdk, sfp)
+		}
+	}
+	// The headline: ≥10× pps gap at 64B, saturation at 1500B.
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if first[1]/first[3] < 10 {
+		t.Errorf("64B gap = %.1fx, want ≥10x", first[1]/first[3])
+	}
+	if last[3] < 99.9 {
+		t.Errorf("1500B DPDK = %v, want saturation", last[3])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	tbl, err := Fig5(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sfp, recir, dpdk float64
+	for _, row := range tbl.Rows {
+		sfp += row[1]
+		recir += row[2]
+		dpdk += row[3]
+	}
+	n := float64(len(tbl.Rows))
+	sfp, recir, dpdk = sfp/n, recir/n, dpdk/n
+	if sfp < 300 || sfp > 380 {
+		t.Errorf("SFP latency %v ns, want ≈341", sfp)
+	}
+	if d := recir - sfp; d < 20 || d > 60 {
+		t.Errorf("recirculation overhead %v ns, want ≈35", d)
+	}
+	if dpdk < 2.5*sfp {
+		t.Errorf("DPDK %v ns not ≈3x SFP %v ns", dpdk, sfp)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tbl, err := Fig6(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		sfpE, baseE := row[3], row[6]
+		if sfpE+1e-9 < baseE {
+			t.Errorf("L=%v: consolidation entry util %v below baseline %v", row[0], sfpE, baseE)
+		}
+		if row[2] > 20+1e-9 || row[5] > 20+1e-9 {
+			t.Errorf("L=%v: block util exceeds B=20", row[0])
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	tbl, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Length-8 chains on an 8-stage switch: R=0 strands most chains
+	// (random type order almost never fits one pass); R=1 must not lose
+	// throughput.
+	if tbl.Rows[1][1]+1e-9 < tbl.Rows[0][1] {
+		t.Errorf("R=1 throughput %v below R=0 %v", tbl.Rows[1][1], tbl.Rows[0][1])
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tbl, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] < 0 {
+			t.Error("negative runtime")
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tbl, err := Fig9(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tightest limit yields zero; generous limit yields positive objective.
+	if tbl.Rows[0][2] != 0 {
+		t.Errorf("cold 10ms objective = %v, want 0", tbl.Rows[0][2])
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[2] <= 0 {
+		t.Errorf("generous limit objective = %v, want > 0", last[2])
+	}
+	if last[4] < 0.999 {
+		t.Errorf("frac of best = %v", last[4])
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tbl, err := Fig10(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		ip, ap, gr := row[1], row[2], row[3]
+		if ap > ip+1e-6 {
+			t.Errorf("L=%v: appro %v beats IP %v", row[0], ap, ip)
+		}
+		if gr <= 0 || ap <= 0 || ip <= 0 {
+			t.Errorf("L=%v: zero throughput in (%v, %v, %v)", row[0], ip, ap, gr)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tbl, err := Fig11(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[1]+1e-9 < row[2]*0.5 {
+			t.Errorf("drop=%v: updated %v collapsed vs origin %v", row[0], row[1], row[2])
+		}
+	}
+}
+
+func TestTableWriteTo(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"x", "y"},
+		Rows:    [][]float64{{1, 2.5}},
+		Notes:   []string{"hello"},
+	}
+	var sb strings.Builder
+	if _, err := tbl.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# demo", "# note: hello", "x\ty", "1\t2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOffloadSavings(t *testing.T) {
+	sc := tinyScale()
+	tbl, err := OffloadSavings(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(sc.Fig6Ls) {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		gbps, saved, deployed := row[1], row[2], row[4]
+		if deployed <= 0 {
+			t.Errorf("L=%v: nothing deployed", row[0])
+		}
+		if gbps > 0 && saved <= 0 {
+			t.Errorf("L=%v: offloaded %v Gbps but saved %v cores", row[0], gbps, saved)
+		}
+		// Sanity: at ~587B mean frames and 5-NF chains, each offloaded Gbps
+		// saves roughly 0.3 cores; the total must be in that ballpark.
+		if saved > gbps {
+			t.Errorf("L=%v: %v cores for %v Gbps implausible", row[0], saved, gbps)
+		}
+	}
+}
+
+func TestLatencyUnderLoad(t *testing.T) {
+	tbl, err := LatencyUnderLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDpdk := 0.0
+	for _, row := range tbl.Rows {
+		sfp, dpdk := row[2], row[3]
+		if sfp != tbl.Rows[0][2] {
+			t.Error("switch latency varied with load")
+		}
+		if dpdk <= prevDpdk {
+			t.Errorf("software latency not increasing at load %v", row[0])
+		}
+		prevDpdk = dpdk
+	}
+	// The gap widens: at 95% load the software is far above its base.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[3] < 2*tbl.Rows[0][3] {
+		t.Errorf("no queueing blow-up: %v vs %v", last[3], tbl.Rows[0][3])
+	}
+}

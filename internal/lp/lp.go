@@ -1,0 +1,270 @@
+// Package lp implements a linear-programming solver: a bounded-variable
+// revised primal simplex with a dense explicit basis inverse, two phases
+// (artificial-variable feasibility, then the real objective), Bland's-rule
+// anti-cycling fallback, and periodic refactorization for numerical hygiene.
+//
+// It plays the role Gurobi plays in the paper: the LP relaxations of the
+// SFC-placement integer program (§V-B) are solved here, and internal/ilp
+// builds branch-and-bound on top for the exact "SFP-IP" runs.
+//
+// Problems are stated as
+//
+//	maximize  c·x
+//	subject to  row_i:  a_i·x  {≤,=,≥}  b_i
+//	            lower_j ≤ x_j ≤ upper_j
+//
+// with sparse rows. Every variable must have a finite lower or upper bound
+// (free variables are not needed by the SFP model and are rejected).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RowOp is a row's comparison operator.
+type RowOp int
+
+// Row operators.
+const (
+	LE RowOp = iota // a·x ≤ b
+	GE              // a·x ≥ b
+	EQ              // a·x = b
+)
+
+// Coef is one sparse coefficient.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+// Row is one linear constraint.
+type Row struct {
+	Coeffs []Coef
+	Op     RowOp
+	RHS    float64
+	// Name is optional, for diagnostics.
+	Name string
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create with NewProblem.
+type Problem struct {
+	n     int
+	c     []float64
+	lower []float64
+	upper []float64
+	rows  []Row
+}
+
+// NewProblem creates a problem with n variables, all with zero objective
+// coefficient and bounds [0, +inf).
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		n:     n,
+		c:     make([]float64, n),
+		lower: make([]float64, n),
+		upper: make([]float64, n),
+	}
+	for i := range p.upper {
+		p.upper[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumRows returns the constraint count.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObjective sets the maximization coefficient of one variable.
+func (p *Problem) SetObjective(v int, coef float64) { p.c[v] = coef }
+
+// Objective returns the maximization coefficient of one variable.
+func (p *Problem) Objective(v int) float64 { return p.c[v] }
+
+// Eval computes the objective value of a point.
+func (p *Problem) Eval(x []float64) float64 {
+	obj := 0.0
+	for j := 0; j < p.n && j < len(x); j++ {
+		obj += p.c[j] * x[j]
+	}
+	return obj
+}
+
+// Feasible reports whether x satisfies every bound and constraint within
+// tolerance tol.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if len(x) < p.n {
+		return false
+	}
+	for j := 0; j < p.n; j++ {
+		if x[j] < p.lower[j]-tol || x[j] > p.upper[j]+tol {
+			return false
+		}
+	}
+	for _, row := range p.rows {
+		lhs := 0.0
+		for _, cf := range row.Coeffs {
+			lhs += cf.Val * x[cf.Var]
+		}
+		switch row.Op {
+		case LE:
+			if lhs > row.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < row.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-row.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Violations returns human-readable descriptions of every bound or
+// constraint x violates beyond tol (empty for a feasible point). Useful for
+// the rounding verifier's diagnostics.
+func (p *Problem) Violations(x []float64, tol float64) []string {
+	var out []string
+	for j := 0; j < p.n && j < len(x); j++ {
+		if x[j] < p.lower[j]-tol || x[j] > p.upper[j]+tol {
+			out = append(out, fmt.Sprintf("var %d = %g outside [%g, %g]", j, x[j], p.lower[j], p.upper[j]))
+		}
+	}
+	for i, row := range p.rows {
+		lhs := 0.0
+		for _, cf := range row.Coeffs {
+			lhs += cf.Val * x[cf.Var]
+		}
+		bad := false
+		switch row.Op {
+		case LE:
+			bad = lhs > row.RHS+tol
+		case GE:
+			bad = lhs < row.RHS-tol
+		case EQ:
+			bad = math.Abs(lhs-row.RHS) > tol
+		}
+		if bad {
+			name := row.Name
+			if name == "" {
+				name = fmt.Sprintf("row %d", i)
+			}
+			out = append(out, fmt.Sprintf("%s: lhs %g vs rhs %g", name, lhs, row.RHS))
+		}
+	}
+	return out
+}
+
+// SetBounds sets a variable's bounds.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.lower[v], p.upper[v] = lo, hi
+}
+
+// Bounds returns a variable's bounds.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lower[v], p.upper[v] }
+
+// AddRow appends a constraint and returns its index.
+func (p *Problem) AddRow(r Row) int {
+	p.rows = append(p.rows, r)
+	return len(p.rows) - 1
+}
+
+// Clone deep-copies the problem, so branch-and-bound can tighten bounds on
+// child nodes without interference.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		n:     p.n,
+		c:     append([]float64(nil), p.c...),
+		lower: append([]float64(nil), p.lower...),
+		upper: append([]float64(nil), p.upper...),
+		rows:  p.rows, // rows are immutable after AddRow; share the slice
+	}
+	return q
+}
+
+// Status is a solve outcome.
+type Status int
+
+// Solve statuses.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Solution is a solve result. X has one entry per original variable.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	Iters     int
+}
+
+// Options tunes the solver. Zero values select defaults.
+type Options struct {
+	// MaxIters bounds total simplex pivots (default 50000 + 50·(rows+vars)).
+	MaxIters int
+	// Tol is the feasibility/optimality tolerance (default 1e-9).
+	Tol float64
+}
+
+func (o Options) withDefaults(p *Problem) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 50000 + 50*(len(p.rows)+p.n)
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// ErrFreeVariable reports a variable with no finite bound.
+var ErrFreeVariable = errors.New("lp: free variables are not supported")
+
+// Solve solves the problem.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	opts = opts.withDefaults(p)
+	for j := 0; j < p.n; j++ {
+		if math.IsInf(p.lower[j], -1) && math.IsInf(p.upper[j], 1) {
+			return nil, fmt.Errorf("%w: variable %d", ErrFreeVariable, j)
+		}
+		if p.lower[j] > p.upper[j] {
+			return &Solution{Status: Infeasible, X: make([]float64, p.n)}, nil
+		}
+	}
+	if m, ok := presolve(p); !ok {
+		return &Solution{Status: Infeasible, X: make([]float64, p.n)}, nil
+	} else if m != nil {
+		sol, err := m.reduced.Solve(opts)
+		if err != nil {
+			return nil, err
+		}
+		return m.inflate(p, sol), nil
+	}
+	s := newSimplex(p, opts)
+	return s.solve()
+}

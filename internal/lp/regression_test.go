@@ -1,0 +1,70 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRegressionPhase1ArtificialSign pins the seed that exposed the
+// Phase-1 bug where the initial basis inverse ignored the sign of
+// artificial columns (B = diag(±1) but B⁻¹ was set to I), making feasible
+// problems report infeasible.
+func TestRegressionPhase1ArtificialSign(t *testing.T) {
+	seed := int64(-2194725355859542381)
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(12)
+	m := 1 + rng.Intn(10)
+	x0 := make([]float64, n)
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		x0[j] = rng.Float64()
+		p.SetBounds(j, 0, 1)
+		p.SetObjective(j, rng.Float64()*4-2)
+	}
+	base := 0.0
+	for j := 0; j < n; j++ {
+		base += p.c[j] * x0[j]
+	}
+	for i := 0; i < m; i++ {
+		var coeffs []Coef
+		lhs := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				val := rng.Float64()*4 - 2
+				coeffs = append(coeffs, Coef{j, val})
+				lhs += val * x0[j]
+			}
+		}
+		if len(coeffs) == 0 {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddRow(Row{Coeffs: coeffs, Op: LE, RHS: lhs + rng.Float64()})
+		case 1:
+			p.AddRow(Row{Coeffs: coeffs, Op: GE, RHS: lhs - rng.Float64()})
+		case 2:
+			p.AddRow(Row{Coeffs: coeffs, Op: EQ, RHS: lhs})
+		}
+	}
+	sol, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatalf("err: %v", err)
+	}
+	t.Logf("n=%d m=%d status=%v obj=%v base=%v iters=%d", n, m, sol.Status, sol.Objective, base, sol.Iters)
+	for i, row := range p.rows {
+		lhs := 0.0
+		for _, cf := range row.Coeffs {
+			lhs += cf.Val * sol.X[cf.Var]
+		}
+		t.Logf("row %d op=%v lhs=%v rhs=%v viol=%v", i, row.Op, lhs, row.RHS, lhs-row.RHS)
+	}
+	if sol.Status != Optimal {
+		t.Errorf("status = %v", sol.Status)
+	}
+	if sol.Objective < base-1e-5 {
+		t.Errorf("obj %v < base %v", sol.Objective, base)
+	}
+	_ = math.Abs
+}

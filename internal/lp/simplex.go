@@ -1,0 +1,493 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// simplex is the bounded-variable revised primal simplex engine. Variables
+// are the structural variables, one slack per row (a·x + s = b with slack
+// bounds encoding ≤/≥/=), and one artificial per row used only in Phase 1.
+type simplex struct {
+	p    *Problem
+	opts Options
+
+	m, n   int // rows, structural vars
+	nTotal int // structural + slacks + artificials
+
+	cols  [][]Coef  // column-wise sparse matrix, per variable
+	b     []float64 // row RHS
+	lower []float64 // per total variable
+	upper []float64
+	obj   []float64 // current-phase objective
+
+	basis   []int     // basis[i] = variable basic in row i
+	inBasis []int     // var -> row position or -1
+	atUpper []bool    // nonbasic at upper bound?
+	xB      []float64 // basic variable values
+	binv    [][]float64
+
+	iters      int
+	degenRun   int  // consecutive degenerate pivots
+	bland      bool // Bland's rule engaged
+	sincePivot int  // pivots since last refactorization
+
+	// scratch buffers
+	y, w []float64
+}
+
+const (
+	pivotTol    = 1e-8
+	degenLimit  = 400
+	refactEvery = 120
+)
+
+func newSimplex(p *Problem, opts Options) *simplex {
+	m, n := len(p.rows), p.n
+	s := &simplex{
+		p: p, opts: opts,
+		m: m, n: n, nTotal: n + 2*m,
+		b:       make([]float64, m),
+		lower:   make([]float64, n+2*m),
+		upper:   make([]float64, n+2*m),
+		obj:     make([]float64, n+2*m),
+		basis:   make([]int, m),
+		inBasis: make([]int, n+2*m),
+		atUpper: make([]bool, n+2*m),
+		xB:      make([]float64, m),
+		y:       make([]float64, m),
+		w:       make([]float64, m),
+	}
+	s.cols = make([][]Coef, s.nTotal)
+	for j := 0; j < n; j++ {
+		s.lower[j], s.upper[j] = p.lower[j], p.upper[j]
+	}
+	for i, row := range p.rows {
+		s.b[i] = row.RHS
+		for _, cf := range row.Coeffs {
+			s.cols[cf.Var] = append(s.cols[cf.Var], Coef{Var: i, Val: cf.Val})
+		}
+		slack := n + i
+		s.cols[slack] = []Coef{{Var: i, Val: 1}}
+		switch row.Op {
+		case LE:
+			s.lower[slack], s.upper[slack] = 0, math.Inf(1)
+		case GE:
+			s.lower[slack], s.upper[slack] = math.Inf(-1), 0
+		case EQ:
+			s.lower[slack], s.upper[slack] = 0, 0
+		}
+		art := n + m + i
+		s.cols[art] = []Coef{{Var: i, Val: 1}} // sign fixed in init()
+		s.lower[art], s.upper[art] = 0, math.Inf(1)
+	}
+	for j := range s.inBasis {
+		s.inBasis[j] = -1
+	}
+	return s
+}
+
+// nonbasicValue returns the resting value of a nonbasic variable.
+func (s *simplex) nonbasicValue(j int) float64 {
+	if s.atUpper[j] {
+		return s.upper[j]
+	}
+	return s.lower[j]
+}
+
+// init places every structural and slack variable at its finite bound
+// nearest zero, sizes the artificials to absorb the residuals, and seeds
+// the basis with the artificials (identity basis).
+func (s *simplex) init() {
+	for j := 0; j < s.n+s.m; j++ {
+		lo, hi := s.lower[j], s.upper[j]
+		switch {
+		case !math.IsInf(lo, -1):
+			s.atUpper[j] = false
+		case !math.IsInf(hi, 1):
+			s.atUpper[j] = true
+		}
+	}
+	// Residuals r_i = b_i - A_i·x at the resting point. (Slacks rest at 0
+	// under every row type, so they contribute nothing here whether they
+	// end up basic or not.)
+	r := append([]float64(nil), s.b...)
+	for j := 0; j < s.n; j++ {
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for _, cf := range s.cols[j] {
+			r[cf.Var] -= cf.Val * v
+		}
+	}
+	// Slack crash basis: a row whose residual already fits its slack's
+	// bounds starts with the slack basic — no artificial, no Phase-1 work
+	// for it. Only the remaining rows get artificials. On SFP's placement
+	// LPs this removes nearly every artificial (most rows have zero
+	// residual at the all-zero resting point) and cuts Phase 1 from
+	// thousands of pivots to a handful.
+	s.binv = identity(s.m)
+	for i := 0; i < s.m; i++ {
+		slack := s.n + i
+		art := s.n + s.m + i
+		if r[i] >= s.lower[slack]-1e-12 && r[i] <= s.upper[slack]+1e-12 {
+			s.basis[i] = slack
+			s.inBasis[slack] = i
+			s.xB[i] = r[i]
+			// The artificial is never needed: freeze it.
+			s.lower[art], s.upper[art] = 0, 0
+			continue
+		}
+		if r[i] < 0 {
+			s.cols[art][0].Val = -1
+			s.binv[i][i] = -1
+			s.xB[i] = -r[i]
+		} else {
+			s.xB[i] = r[i]
+		}
+		s.basis[i] = art
+		s.inBasis[art] = i
+	}
+}
+
+func (s *simplex) solve() (*Solution, error) {
+	s.init()
+
+	// Phase 1: drive artificial infeasibility to zero.
+	for i := 0; i < s.m; i++ {
+		s.obj[s.n+s.m+i] = -1
+	}
+	st, err := s.iterate()
+	if err != nil {
+		return nil, err
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, X: s.extractX(), Iters: s.iters}, nil
+	}
+	infeas := 0.0
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] >= s.n+s.m {
+			infeas += s.xB[i]
+		}
+	}
+	feasTol := math.Max(s.opts.Tol*1e3, 1e-7)
+	if infeas > feasTol {
+		return &Solution{Status: Infeasible, X: s.extractX(), Iters: s.iters}, nil
+	}
+
+	// Phase 2: real objective; artificials are frozen at zero.
+	for j := range s.obj {
+		s.obj[j] = 0
+	}
+	for j := 0; j < s.n; j++ {
+		s.obj[j] = s.p.c[j]
+	}
+	for i := 0; i < s.m; i++ {
+		art := s.n + s.m + i
+		s.lower[art], s.upper[art] = 0, 0
+		if s.inBasis[art] == -1 {
+			s.atUpper[art] = false
+		}
+	}
+	s.bland = false
+	s.degenRun = 0
+	s.refactor()
+	st, err = s.iterate()
+	if err != nil {
+		return nil, err
+	}
+	x := s.extractX()
+	objVal := 0.0
+	for j := 0; j < s.n; j++ {
+		objVal += s.p.c[j] * x[j]
+	}
+	return &Solution{Status: st, Objective: objVal, X: x, Iters: s.iters}, nil
+}
+
+// extractX reads the structural variable values from the current basis.
+func (s *simplex) extractX() []float64 {
+	x := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if pos := s.inBasis[j]; pos >= 0 {
+			x[j] = s.xB[pos]
+		} else {
+			x[j] = s.nonbasicValue(j)
+		}
+	}
+	return x
+}
+
+// iterate runs simplex pivots until optimal, unbounded, or the iteration cap.
+func (s *simplex) iterate() (Status, error) {
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return IterLimit, nil
+		}
+		s.iters++
+
+		// y = c_B^T · B⁻¹
+		for i := range s.y {
+			s.y[i] = 0
+		}
+		for k := 0; k < s.m; k++ {
+			cb := s.obj[s.basis[k]]
+			if cb == 0 {
+				continue
+			}
+			row := s.binv[k]
+			for i := 0; i < s.m; i++ {
+				s.y[i] += cb * row[i]
+			}
+		}
+
+		// Pricing: pick the entering variable.
+		enter := -1
+		bestScore := s.opts.Tol * 10
+		for j := 0; j < s.nTotal; j++ {
+			if s.inBasis[j] >= 0 {
+				continue
+			}
+			if s.lower[j] == s.upper[j] {
+				continue // fixed variable can never improve
+			}
+			d := s.obj[j]
+			for _, cf := range s.cols[j] {
+				d -= s.y[cf.Var] * cf.Val
+			}
+			var score float64
+			if !s.atUpper[j] && d > s.opts.Tol*10 {
+				score = d
+			} else if s.atUpper[j] && d < -s.opts.Tol*10 {
+				score = -d
+			} else {
+				continue
+			}
+			if s.bland {
+				enter = j
+				break
+			}
+			if score > bestScore {
+				bestScore, enter = score, j
+			}
+		}
+		if enter == -1 {
+			return Optimal, nil
+		}
+
+		// Direction w = B⁻¹ · A_enter.
+		for i := range s.w {
+			s.w[i] = 0
+		}
+		for _, cf := range s.cols[enter] {
+			v := cf.Val
+			for i := 0; i < s.m; i++ {
+				s.w[i] += s.binv[i][cf.Var] * v
+			}
+		}
+
+		sgn := 1.0
+		if s.atUpper[enter] {
+			sgn = -1
+		}
+
+		// Ratio test with bound flips.
+		tBest := s.upper[enter] - s.lower[enter] // may be +inf
+		leave := -1
+		leaveAtUpper := false
+		for i := 0; i < s.m; i++ {
+			wi := sgn * s.w[i]
+			bi := s.basis[i]
+			var limit float64
+			var hitsUpper bool
+			switch {
+			case wi > pivotTol:
+				if math.IsInf(s.lower[bi], -1) {
+					continue
+				}
+				limit = (s.xB[i] - s.lower[bi]) / wi
+				hitsUpper = false
+			case wi < -pivotTol:
+				if math.IsInf(s.upper[bi], 1) {
+					continue
+				}
+				limit = (s.upper[bi] - s.xB[i]) / (-wi)
+				hitsUpper = true
+			default:
+				continue
+			}
+			if limit < 0 {
+				limit = 0
+			}
+			if limit < tBest-1e-12 || (limit < tBest+1e-12 && leave >= 0 && math.Abs(s.w[i]) > math.Abs(s.w[leave])) {
+				tBest, leave, leaveAtUpper = limit, i, hitsUpper
+			}
+		}
+		if math.IsInf(tBest, 1) {
+			return Unbounded, nil
+		}
+
+		if tBest <= s.opts.Tol {
+			s.degenRun++
+			if s.degenRun > degenLimit {
+				s.bland = true
+			}
+		} else {
+			s.degenRun = 0
+		}
+
+		// Move.
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= sgn * tBest * s.w[i]
+		}
+		if leave == -1 {
+			// Bound flip: the entering variable runs to its other bound.
+			s.atUpper[enter] = !s.atUpper[enter]
+			continue
+		}
+
+		leavingVar := s.basis[leave]
+		enterVal := s.nonbasicValue(enter) + sgn*tBest
+		s.basis[leave] = enter
+		s.inBasis[enter] = leave
+		s.inBasis[leavingVar] = -1
+		s.atUpper[leavingVar] = leaveAtUpper
+		s.xB[leave] = enterVal
+
+		// Update B⁻¹ with the eta transformation for the pivot row.
+		wr := s.w[leave]
+		if math.Abs(wr) < pivotTol {
+			// Numerically unreliable pivot: refactorize and retry.
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		pivRow := s.binv[leave]
+		inv := 1 / wr
+		for k := 0; k < s.m; k++ {
+			pivRow[k] *= inv
+		}
+		for i := 0; i < s.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				row[k] -= f * pivRow[k]
+			}
+		}
+
+		s.sincePivot++
+		if s.sincePivot >= refactEvery {
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+		}
+	}
+}
+
+// refactor recomputes B⁻¹ from scratch and re-derives the basic values,
+// discarding accumulated floating-point drift.
+func (s *simplex) refactor() error {
+	s.sincePivot = 0
+	B := make([][]float64, s.m)
+	for i := range B {
+		B[i] = make([]float64, s.m)
+	}
+	for pos, j := range s.basis {
+		for _, cf := range s.cols[j] {
+			B[cf.Var][pos] = cf.Val
+		}
+	}
+	inv, ok := invert(B)
+	if !ok {
+		return errors.New("lp: singular basis during refactorization")
+	}
+	s.binv = inv
+	// xB = B⁻¹ (b - Σ_nonbasic A_j·x_j)
+	r := append([]float64(nil), s.b...)
+	for j := 0; j < s.nTotal; j++ {
+		if s.inBasis[j] >= 0 {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for _, cf := range s.cols[j] {
+			r[cf.Var] -= cf.Val * v
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		sum := 0.0
+		row := s.binv[i]
+		for k := 0; k < s.m; k++ {
+			sum += row[k] * r[k]
+		}
+		s.xB[i] = sum
+	}
+	return nil
+}
+
+// identity returns an m×m identity matrix.
+func identity(m int) [][]float64 {
+	I := make([][]float64, m)
+	for i := range I {
+		I[i] = make([]float64, m)
+		I[i][i] = 1
+	}
+	return I
+}
+
+// invert computes the inverse of a dense square matrix by Gauss-Jordan
+// elimination with partial pivoting. It reports false if the matrix is
+// singular to working precision.
+func invert(a [][]float64) ([][]float64, bool) {
+	m := len(a)
+	// Work on a copy augmented with the identity.
+	w := make([][]float64, m)
+	for i := range w {
+		w[i] = make([]float64, 2*m)
+		copy(w[i], a[i])
+		w[i][m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv, best := -1, pivotTol
+		for i := col; i < m; i++ {
+			if v := math.Abs(w[i][col]); v > best {
+				best, piv = v, i
+			}
+		}
+		if piv == -1 {
+			return nil, false
+		}
+		w[col], w[piv] = w[piv], w[col]
+		inv := 1 / w[col][col]
+		for k := col; k < 2*m; k++ {
+			w[col][k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := w[i][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < 2*m; k++ {
+				w[i][k] -= f * w[col][k]
+			}
+		}
+	}
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = w[i][m:]
+	}
+	return out, true
+}

@@ -1,0 +1,494 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"sfp/internal/lp"
+)
+
+// BuildOptions selects formulation variants.
+type BuildOptions struct {
+	// Consolidate selects the paper's Eq. (11) memory constraint (same-type
+	// NFs across SFCs share blocks via the per-(type,stage) ceil). False
+	// selects Eq. (25): the per-logical-NF ceil that exposes internal
+	// fragmentation — the paper's "SFP without consolidation" baseline.
+	Consolidate bool
+	// ExactConsistency emits one z ≤ x row per z variable (Eq. 9 verbatim).
+	// When false, the rows are aggregated per (type, stage) as
+	// Σ z ≤ n·x, which has the same integer solutions but a weaker LP
+	// relaxation and far fewer rows (see DESIGN.md §4).
+	ExactConsistency bool
+}
+
+// Encoded is a built placement program plus the variable maps needed to
+// decode solutions.
+type Encoded struct {
+	Prob *lp.Problem
+	// IntVars lists every integral variable (x, z, block and pass
+	// counters), ready for ilp.Problem.
+	IntVars []int
+
+	inst *Instance
+	opts BuildOptions
+
+	K    int
+	xIdx [][]int   // [i-1][s] -> var
+	zIdx [][][]int // [l][j][k] -> var or -1 (outside the feasibility window)
+	pIdx []int     // [l] -> pass-count variable P_l = R_l+1
+	yIdx [][]int   // [i-1][s] -> block-count var Y_is (consolidation only)
+}
+
+// Build encodes the instance per §V-A. Variable pruning (DESIGN.md §4):
+// z_ijkl exists only for i = f_jl and k inside the box's order-feasible
+// window; x is indexed by physical stage so Eq. (10) holds structurally.
+func Build(in *Instance, opts BuildOptions) (*Encoded, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	S, K := in.Switch.Stages, in.K()
+	I, L := in.NumTypes, len(in.Chains)
+	e := &Encoded{inst: in, opts: opts, K: K}
+
+	// ---- Variable layout ----
+	nVars := 0
+	newVar := func() int { v := nVars; nVars++; return v }
+
+	e.xIdx = make([][]int, I)
+	for i := 0; i < I; i++ {
+		e.xIdx[i] = make([]int, S)
+		for s := 0; s < S; s++ {
+			e.xIdx[i][s] = newVar()
+		}
+	}
+	e.zIdx = make([][][]int, L)
+	for l, c := range in.Chains {
+		J := c.Len()
+		e.zIdx[l] = make([][]int, J)
+		for j := 0; j < J; j++ {
+			e.zIdx[l][j] = make([]int, K)
+			for k := 0; k < K; k++ {
+				// Order-feasibility window: box j needs j predecessors
+				// before it and J-1-j successors after it.
+				if k < j || k > K-1-(J-1-j) {
+					e.zIdx[l][j][k] = -1
+					continue
+				}
+				e.zIdx[l][j][k] = newVar()
+			}
+		}
+	}
+	e.pIdx = make([]int, L)
+	for l := range in.Chains {
+		e.pIdx[l] = newVar()
+	}
+	if opts.Consolidate {
+		e.yIdx = make([][]int, I)
+		for i := 0; i < I; i++ {
+			e.yIdx[i] = make([]int, S)
+			for s := 0; s < S; s++ {
+				e.yIdx[i][s] = newVar()
+			}
+		}
+	}
+
+	p := lp.NewProblem(nVars)
+	e.Prob = p
+
+	// Bounds and integrality. x, z ∈ {0,1} (Eqs. 2, 3); P_l ∈ [0, R+1];
+	// Y_is ∈ [0, B].
+	for i := 0; i < I; i++ {
+		for s := 0; s < S; s++ {
+			p.SetBounds(e.xIdx[i][s], 0, 1)
+			e.IntVars = append(e.IntVars, e.xIdx[i][s])
+		}
+	}
+	for l := range in.Chains {
+		for j := range e.zIdx[l] {
+			for k := 0; k < K; k++ {
+				if v := e.zIdx[l][j][k]; v >= 0 {
+					p.SetBounds(v, 0, 1)
+					e.IntVars = append(e.IntVars, v)
+				}
+			}
+		}
+		p.SetBounds(e.pIdx[l], 0, float64(in.Recirc+1))
+		e.IntVars = append(e.IntVars, e.pIdx[l])
+	}
+	if opts.Consolidate {
+		for i := 0; i < I; i++ {
+			for s := 0; s < S; s++ {
+				p.SetBounds(e.yIdx[i][s], 0, float64(in.Switch.BlocksPerStage))
+				e.IntVars = append(e.IntVars, e.yIdx[i][s])
+			}
+		}
+	}
+
+	// Objective (Eq. 1): Σ_l d_l·T_l·J_l with d_l = Σ_k z_{l,0,k}.
+	for l, c := range in.Chains {
+		w := c.BandwidthGbps * float64(c.Len())
+		for k := 0; k < K; k++ {
+			if v := e.zIdx[l][0][k]; v >= 0 {
+				p.SetObjective(v, w)
+			}
+		}
+	}
+	// The block (Y) and pass (P) counters carry a tiny negative objective:
+	// they are lower-bounded counters the real objective ignores, so
+	// without it the LP leaves them floating at arbitrary values and
+	// branch-and-bound dives chase them forever. The perturbation pins
+	// them to their minima; its total magnitude (≤1e-7·(I·S·B + L·R))
+	// is far below any bandwidth difference the experiments resolve.
+	const auxEps = 1e-7
+	for l := range in.Chains {
+		p.SetObjective(e.pIdx[l], -auxEps)
+	}
+	if opts.Consolidate {
+		for i := 0; i < I; i++ {
+			for s := 0; s < S; s++ {
+				p.SetObjective(e.yIdx[i][s], -auxEps)
+			}
+		}
+	}
+
+	// Eq. (4): every type has at least one physical instance.
+	for i := 0; i < I; i++ {
+		coeffs := make([]lp.Coef, S)
+		for s := 0; s < S; s++ {
+			coeffs[s] = lp.Coef{Var: e.xIdx[i][s], Val: 1}
+		}
+		p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.GE, RHS: 1, Name: fmt.Sprintf("type%d-exists", i+1)})
+	}
+
+	// Eq. (5): each box lands on at most one virtual stage, and Eq. (7):
+	// all boxes of a chain share deployment fate.
+	for l, c := range in.Chains {
+		J := c.Len()
+		for j := 0; j < J; j++ {
+			var coeffs []lp.Coef
+			for k := 0; k < K; k++ {
+				if v := e.zIdx[l][j][k]; v >= 0 {
+					coeffs = append(coeffs, lp.Coef{Var: v, Val: 1})
+				}
+			}
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: 1, Name: fmt.Sprintf("c%d-box%d-once", c.ID, j)})
+		}
+		for j := 0; j+1 < J; j++ {
+			var coeffs []lp.Coef
+			for k := 0; k < K; k++ {
+				if v := e.zIdx[l][j][k]; v >= 0 {
+					coeffs = append(coeffs, lp.Coef{Var: v, Val: 1})
+				}
+				if v := e.zIdx[l][j+1][k]; v >= 0 {
+					coeffs = append(coeffs, lp.Coef{Var: v, Val: -1})
+				}
+			}
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.EQ, RHS: 0, Name: fmt.Sprintf("c%d-fate%d", c.ID, j)})
+		}
+	}
+
+	// Eq. (8): strict order via stage expressions g_jl = Σ_k (k+1)·z.
+	// g_{j+1} - g_j ≥ d_l, written with d_l = Σ_k z_{j+1,k}.
+	for l, c := range in.Chains {
+		J := c.Len()
+		for j := 0; j+1 < J; j++ {
+			var coeffs []lp.Coef
+			for k := 0; k < K; k++ {
+				if v := e.zIdx[l][j][k]; v >= 0 {
+					coeffs = append(coeffs, lp.Coef{Var: v, Val: -float64(k + 1)})
+				}
+				if v := e.zIdx[l][j+1][k]; v >= 0 {
+					coeffs = append(coeffs, lp.Coef{Var: v, Val: float64(k+1) - 1})
+				}
+			}
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.GE, RHS: 0, Name: fmt.Sprintf("c%d-order%d", c.ID, j)})
+		}
+	}
+
+	// Eq. (9): logical boxes land only where a physical NF of the type
+	// exists. Exact: one row per z variable. Aggregated: one row per
+	// (type, physical stage) with big-M = variable count (IP-equivalent).
+	if opts.ExactConsistency {
+		for l, c := range in.Chains {
+			for j, b := range c.NFs {
+				for k := 0; k < K; k++ {
+					v := e.zIdx[l][j][k]
+					if v < 0 {
+						continue
+					}
+					x := e.xIdx[b.Type-1][k%S]
+					p.AddRow(lp.Row{
+						Coeffs: []lp.Coef{{Var: v, Val: 1}, {Var: x, Val: -1}},
+						Op:     lp.LE, RHS: 0,
+						Name: fmt.Sprintf("c%d-b%d-k%d-consist", c.ID, j, k),
+					})
+				}
+			}
+		}
+	} else {
+		type is struct{ i, s int }
+		agg := map[is][]lp.Coef{}
+		for l, c := range in.Chains {
+			for j, b := range c.NFs {
+				for k := 0; k < K; k++ {
+					if v := e.zIdx[l][j][k]; v >= 0 {
+						key := is{b.Type - 1, k % S}
+						agg[key] = append(agg[key], lp.Coef{Var: v, Val: 1})
+					}
+				}
+			}
+		}
+		for key, coeffs := range agg {
+			n := float64(len(coeffs))
+			coeffs = append(coeffs, lp.Coef{Var: e.xIdx[key.i][key.s], Val: -n})
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: 0,
+				Name: fmt.Sprintf("agg-consist-i%d-s%d", key.i+1, key.s)})
+		}
+	}
+
+	// Memory. Consolidated (Eq. 11): per (type, stage), block counter
+	// Y_is ≥ Σ z·F / E (integrality lifts it to the ceil); per stage,
+	// Σ_i Y_is ≤ B. Without consolidation (Eq. 25): each box consumes
+	// ceil(F_jl/E) whole blocks wherever placed.
+	E := float64(in.Switch.EntriesPerBlock)
+	if opts.Consolidate {
+		for i := 0; i < I; i++ {
+			for s := 0; s < S; s++ {
+				coeffs := []lp.Coef{{Var: e.yIdx[i][s], Val: -E}}
+				for l, c := range in.Chains {
+					for j, b := range c.NFs {
+						if b.Type-1 != i {
+							continue
+						}
+						for k := s; k < K; k += S {
+							if v := e.zIdx[l][j][k]; v >= 0 {
+								coeffs = append(coeffs, lp.Coef{Var: v, Val: float64(b.Rules)})
+							}
+						}
+					}
+				}
+				if len(coeffs) == 1 {
+					continue // no z can land here; Y_is free at 0
+				}
+				p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: 0,
+					Name: fmt.Sprintf("mem-i%d-s%d", i+1, s)})
+			}
+		}
+		for s := 0; s < S; s++ {
+			coeffs := make([]lp.Coef, I)
+			for i := 0; i < I; i++ {
+				coeffs[i] = lp.Coef{Var: e.yIdx[i][s], Val: 1}
+			}
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: float64(in.Switch.BlocksPerStage),
+				Name: fmt.Sprintf("blocks-s%d", s)})
+		}
+	} else {
+		for s := 0; s < S; s++ {
+			var coeffs []lp.Coef
+			for l, c := range in.Chains {
+				for j, b := range c.NFs {
+					blocks := math.Ceil(float64(b.Rules) / E)
+					for k := s; k < K; k += S {
+						if v := e.zIdx[l][j][k]; v >= 0 {
+							coeffs = append(coeffs, lp.Coef{Var: v, Val: blocks})
+						}
+					}
+				}
+			}
+			if len(coeffs) == 0 {
+				continue
+			}
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: float64(in.Switch.BlocksPerStage),
+				Name: fmt.Sprintf("blocks-s%d", s)})
+		}
+	}
+
+	// Capacity (Eq. 12): pass counters P_l ≥ s_l/S (integrality lifts to
+	// the ceil), Σ_l T_l·P_l ≤ C.
+	for l, c := range in.Chains {
+		J := c.Len()
+		coeffs := []lp.Coef{{Var: e.pIdx[l], Val: -float64(S)}}
+		for k := 0; k < K; k++ {
+			if v := e.zIdx[l][J-1][k]; v >= 0 {
+				coeffs = append(coeffs, lp.Coef{Var: v, Val: float64(k + 1)})
+			}
+		}
+		p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: 0, Name: fmt.Sprintf("c%d-passes", c.ID)})
+	}
+	capCoeffs := make([]lp.Coef, L)
+	for l, c := range in.Chains {
+		capCoeffs[l] = lp.Coef{Var: e.pIdx[l], Val: c.BandwidthGbps}
+	}
+	if L > 0 {
+		p.AddRow(lp.Row{Coeffs: capCoeffs, Op: lp.LE, RHS: in.Switch.CapacityGbps, Name: "backplane"})
+	}
+
+	return e, nil
+}
+
+// PinChain forces chain l to keep an existing placement (used by runtime
+// update to hold surviving tenants in place): each box's z variable at its
+// current stage is fixed to 1 and the chain's other z variables to 0.
+// stages must be the chain's current virtual stages.
+func (e *Encoded) PinChain(l int, stages []int) error {
+	J := len(e.zIdx[l])
+	if len(stages) != J {
+		return fmt.Errorf("model: pin chain %d: %d stages for %d boxes", l, len(stages), J)
+	}
+	for j := 0; j < J; j++ {
+		want := stages[j]
+		if want < 0 || want >= e.K || e.zIdx[l][j][want] < 0 {
+			return fmt.Errorf("model: pin chain %d box %d: stage %d invalid", l, j, want)
+		}
+		for k := 0; k < e.K; k++ {
+			v := e.zIdx[l][j][k]
+			if v < 0 {
+				continue
+			}
+			if k == want {
+				e.Prob.SetBounds(v, 1, 1)
+			} else {
+				e.Prob.SetBounds(v, 0, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// ExcludeChain forbids deploying chain l (used by the rounding algorithm's
+// strip step and by runtime update for departed tenants).
+func (e *Encoded) ExcludeChain(l int) {
+	for j := range e.zIdx[l] {
+		for k := 0; k < e.K; k++ {
+			if v := e.zIdx[l][j][k]; v >= 0 {
+				e.Prob.SetBounds(v, 0, 0)
+			}
+		}
+	}
+}
+
+// PinPhysical forces the physical layout to the given X (runtime update
+// does not move physical NFs without a full reconfiguration).
+func (e *Encoded) PinPhysical(X [][]bool) {
+	for i := range e.xIdx {
+		for s := range e.xIdx[i] {
+			if X[i][s] {
+				e.Prob.SetBounds(e.xIdx[i][s], 1, 1)
+			} else {
+				e.Prob.SetBounds(e.xIdx[i][s], 0, 0)
+			}
+		}
+	}
+}
+
+// Decode converts a solver point into an Assignment, snapping binaries at
+// the 0.5 threshold. Fractional points (from the LP relaxation) should go
+// through placement.Round instead; Decode is for integral solutions.
+func (e *Encoded) Decode(x []float64) *Assignment {
+	a := NewAssignment(e.inst)
+	for i := range e.xIdx {
+		for s := range e.xIdx[i] {
+			a.X[i][s] = x[e.xIdx[i][s]] > 0.5
+		}
+	}
+	for l := range e.zIdx {
+		for j := range e.zIdx[l] {
+			for k := 0; k < e.K; k++ {
+				if v := e.zIdx[l][j][k]; v >= 0 && x[v] > 0.5 {
+					a.Stages[l][j] = k
+				}
+			}
+		}
+	}
+	return a
+}
+
+// ZValue reads a z variable's relaxed value from a solver point (the
+// rounding algorithm samples from these).
+func (e *Encoded) ZValue(x []float64, l, j, k int) float64 {
+	v := e.zIdx[l][j][k]
+	if v < 0 {
+		return 0
+	}
+	return x[v]
+}
+
+// XValue reads an x variable's relaxed value.
+func (e *Encoded) XValue(x []float64, i, s int) float64 {
+	return x[e.xIdx[i-1][s]]
+}
+
+// Instance returns the encoded instance.
+func (e *Encoded) Instance() *Instance { return e.inst }
+
+// XVars returns the physical-placement variable indices in (type, stage)
+// order. Branching on these first collapses the symmetric families of
+// logical placements that share a physical layout.
+func (e *Encoded) XVars() []int {
+	var out []int
+	for i := range e.xIdx {
+		out = append(out, e.xIdx[i]...)
+	}
+	return out
+}
+
+// AuxVars returns the ceiling-defined auxiliary integers (pass counters P_l
+// and, under consolidation, block counters Y_is). Their integral value is
+// implied by the decision variables — the smallest integer above their
+// defining expression — so branch and bound should complete them by
+// rounding up rather than branching on them (ilp.Options.CeilVars).
+func (e *Encoded) AuxVars() []int {
+	out := append([]int(nil), e.pIdx...)
+	if e.yIdx != nil {
+		for i := range e.yIdx {
+			out = append(out, e.yIdx[i]...)
+		}
+	}
+	return out
+}
+
+// Options returns the build options.
+func (e *Encoded) Options() BuildOptions { return e.opts }
+
+// EncodeAssignment converts a concrete assignment into a solver point over
+// this encoding's variables — the warm-start vector for branch and bound.
+// The assignment must be Verify-feasible for the same consolidation mode.
+func (e *Encoded) EncodeAssignment(a *Assignment) ([]float64, error) {
+	x := make([]float64, e.Prob.NumVars())
+	S := e.inst.Switch.Stages
+	for i := range e.xIdx {
+		for s := range e.xIdx[i] {
+			if a.X[i][s] {
+				x[e.xIdx[i][s]] = 1
+			}
+		}
+	}
+	rulesAt := make(map[[2]int]int) // (type-1, stage) -> rules
+	for l, c := range e.inst.Chains {
+		if !a.Deployed(l) {
+			continue
+		}
+		for j, k := range a.Stages[l] {
+			v := e.zIdx[l][j][k]
+			if v < 0 {
+				return nil, fmt.Errorf("model: assignment stage %d outside window for chain %d box %d", k, c.ID, j)
+			}
+			x[v] = 1
+			rulesAt[[2]int{c.NFs[j].Type - 1, k % S}] += c.NFs[j].Rules
+		}
+		x[e.pIdx[l]] = float64(a.Passes(l, S))
+	}
+	if e.yIdx != nil {
+		E := e.inst.Switch.EntriesPerBlock
+		for key, rules := range rulesAt {
+			x[e.yIdx[key[0]][key[1]]] = float64((rules + E - 1) / E)
+		}
+	}
+	return x, nil
+}
+
+// ZWindow reports the feasible virtual-stage window for chain l's box j.
+func (e *Encoded) ZWindow(l, j int) (lo, hi int) {
+	J := len(e.zIdx[l])
+	return j, e.K - 1 - (J - 1 - j)
+}

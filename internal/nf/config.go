@@ -1,0 +1,146 @@
+package nf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+)
+
+// ConfigRule is one tenant-level rule of a logical NF: matches over the NF
+// type's own key fields (no tenant/pass prefix — the data plane adds those
+// when copying the rule onto the physical NF, §IV).
+type ConfigRule struct {
+	Priority int
+	Matches  []pipeline.Match
+	Action   string
+	Params   []uint64
+}
+
+// Config is a logical NF's full configuration: its type plus rule set.
+type Config struct {
+	Type  Type
+	Rules []ConfigRule
+}
+
+// Validate checks the configuration against the type's Spec.
+func (c *Config) Validate() error {
+	if !c.Type.Valid() {
+		return fmt.Errorf("nf: invalid type %d", int(c.Type))
+	}
+	spec := ForType(c.Type)
+	for i, r := range c.Rules {
+		if len(r.Matches) != len(spec.Keys) {
+			return fmt.Errorf("nf %v rule %d: %d matches, spec has %d keys",
+				c.Type, i, len(r.Matches), len(spec.Keys))
+		}
+		if _, ok := spec.Actions[r.Action]; !ok {
+			return fmt.Errorf("nf %v rule %d: unknown action %q", c.Type, i, r.Action)
+		}
+	}
+	return nil
+}
+
+// Synthesize generates a plausible configuration with n rules for the given
+// NF type, using the provided RNG for reproducibility. The generated rules
+// exercise each type's primary action so that end-to-end tests observe real
+// NF behaviour, not just table occupancy.
+func Synthesize(t Type, n int, rng *rand.Rand) *Config {
+	c := &Config{Type: t, Rules: make([]ConfigRule, 0, n)}
+	for r := 0; r < n; r++ {
+		c.Rules = append(c.Rules, synthRule(t, r, rng))
+	}
+	return c
+}
+
+func synthRule(t Type, i int, rng *rand.Rand) ConfigRule {
+	ip := func() uint64 {
+		return uint64(packet.IPv4Addr(10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1+rng.Intn(254))))
+	}
+	port := func() uint64 { return uint64(1024 + rng.Intn(60000)) }
+	switch t {
+	case Firewall:
+		action := "permit"
+		if rng.Intn(4) == 0 {
+			action = "deny"
+		}
+		return ConfigRule{
+			Priority: 100 - rng.Intn(50),
+			Matches: []pipeline.Match{
+				pipeline.Masked(ip(), 0xffffff00), // /24 source
+				pipeline.Wildcard(),
+				pipeline.Eq(uint64(packet.ProtoTCP)),
+				pipeline.Eq(port()),
+			},
+			Action: action,
+		}
+	case LoadBalancer:
+		return ConfigRule{
+			Matches: []pipeline.Match{pipeline.Eq(ip()), pipeline.Eq(port())},
+			Action:  "dnat",
+			Params:  []uint64{ip(), port()},
+		}
+	case TrafficClassifier:
+		lo := port()
+		return ConfigRule{
+			Priority: rng.Intn(10),
+			Matches: []pipeline.Match{
+				pipeline.Eq(uint64(packet.ProtoTCP)),
+				pipeline.Between(lo, lo+uint64(rng.Intn(1000))),
+			},
+			Action: "set_class",
+			Params: []uint64{uint64(1 + rng.Intn(7))},
+		}
+	case Router:
+		plen := 8 + rng.Intn(25)
+		return ConfigRule{
+			Matches: []pipeline.Match{pipeline.Prefix(ip(), plen)},
+			Action:  "fwd",
+			Params:  []uint64{uint64(1 + rng.Intn(31))},
+		}
+	case NAT:
+		return ConfigRule{
+			Matches: []pipeline.Match{pipeline.Eq(ip()), pipeline.Eq(port())},
+			Action:  "snat",
+			Params:  []uint64{ip(), port()},
+		}
+	case RateLimiter:
+		return ConfigRule{
+			Matches: []pipeline.Match{pipeline.Eq(uint64(rng.Intn(8)))},
+			Action:  "limit",
+			Params:  []uint64{uint64(i % 256), uint64(100 + rng.Intn(900)), uint64(1000 + rng.Intn(9000))},
+		}
+	case VPNGateway:
+		return ConfigRule{
+			Matches: []pipeline.Match{pipeline.Prefix(ip(), 16)},
+			Action:  "encap",
+			Params:  []uint64{uint64(1 + rng.Intn(100))},
+		}
+	case Monitor:
+		return ConfigRule{
+			Matches: []pipeline.Match{
+				pipeline.Masked(ip(), 0xffff0000),
+				pipeline.Wildcard(),
+			},
+			Action: "count",
+			Params: []uint64{uint64(i % 1024)},
+		}
+	case DDoSMitigator:
+		return ConfigRule{
+			Matches: []pipeline.Match{
+				pipeline.Eq(ip()),
+				pipeline.Masked(uint64(packet.TCPSyn), uint64(packet.TCPSyn|packet.TCPAck)),
+			},
+			Action: "syn_guard",
+			Params: []uint64{uint64(i % 1024), uint64(100 + rng.Intn(10000))},
+		}
+	case CacheIndex:
+		return ConfigRule{
+			Matches: []pipeline.Match{pipeline.Eq(ip()), pipeline.Eq(port())},
+			Action:  "cache_hit",
+			Params:  []uint64{uint64(1 + rng.Intn(31)), uint64(i % 1024)},
+		}
+	}
+	panic(fmt.Sprintf("nf: synthRule on invalid type %d", int(t)))
+}

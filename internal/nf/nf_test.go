@@ -1,0 +1,377 @@
+package nf
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+)
+
+// applySpec builds a standalone table from a spec (without tenant/pass
+// prefix), installs the given rules, and applies one packet.
+func applySpec(t *testing.T, spec *Spec, rules []ConfigRule, p *packet.Packet, nowNs float64) *pipeline.Rule {
+	t.Helper()
+	tbl := pipeline.NewTable(spec.Type.String(), spec.Keys, 1000)
+	for name, fn := range spec.Actions {
+		tbl.RegisterAction(name, fn)
+	}
+	tbl.SetDefault(spec.Default)
+	for _, r := range rules {
+		if err := tbl.Insert(&pipeline.Rule{
+			Priority: r.Priority, Matches: r.Matches, Action: r.Action, Params: r.Params,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regs := pipeline.NewRegisterFile()
+	for name, size := range spec.Registers {
+		if err := regs.Alloc(name, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := &pipeline.Context{Regs: regs, NowNs: nowNs}
+	return tbl.Apply(ctx, p)
+}
+
+func TestAllTypesHaveSpecs(t *testing.T) {
+	if len(AllTypes()) != TypeCount || TypeCount != 10 {
+		t.Fatalf("TypeCount = %d, want 10", TypeCount)
+	}
+	for _, typ := range AllTypes() {
+		spec := ForType(typ)
+		if spec.Type != typ {
+			t.Errorf("%v: spec.Type mismatch", typ)
+		}
+		if len(spec.Keys) == 0 {
+			t.Errorf("%v: no match keys", typ)
+		}
+		if _, ok := spec.Actions[spec.Default]; !ok {
+			t.Errorf("%v: default action %q not registered", typ, spec.Default)
+		}
+		if spec.RuleWidthBits() <= pipeline.FieldTenantID.Bits()+pipeline.FieldPass.Bits() {
+			t.Errorf("%v: rule width %d should exceed tenant+pass prefix", typ, spec.RuleWidthBits())
+		}
+	}
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for _, typ := range AllTypes() {
+		got, err := ParseType(typ.String())
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ.String(), got, err)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Error("ParseType accepted bogus name")
+	}
+}
+
+func TestFirewallDeny(t *testing.T) {
+	rules := []ConfigRule{{
+		Priority: 10,
+		Matches: []pipeline.Match{
+			pipeline.Masked(uint64(packet.IPv4Addr(10, 1, 1, 0)), 0xffffff00),
+			pipeline.Wildcard(),
+			pipeline.Eq(uint64(packet.ProtoTCP)),
+			pipeline.Eq(22),
+		},
+		Action: "deny",
+	}}
+	blocked := packet.NewBuilder().WithIPv4(packet.IPv4Addr(10, 1, 1, 5), 9).WithTCP(999, 22).Build()
+	applySpec(t, ForType(Firewall), rules, blocked, 0)
+	if !blocked.Meta.Drop {
+		t.Error("firewall did not drop matching packet")
+	}
+	passed := packet.NewBuilder().WithIPv4(packet.IPv4Addr(10, 2, 1, 5), 9).WithTCP(999, 22).Build()
+	applySpec(t, ForType(Firewall), rules, passed, 0)
+	if passed.Meta.Drop {
+		t.Error("firewall dropped non-matching packet")
+	}
+}
+
+func TestLoadBalancerDNAT(t *testing.T) {
+	vip := uint64(packet.IPv4Addr(20, 0, 0, 1))
+	backend := uint64(packet.IPv4Addr(10, 0, 0, 7))
+	rules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Eq(vip), pipeline.Eq(80)},
+		Action:  "dnat",
+		Params:  []uint64{backend, 8080},
+	}}
+	p := packet.NewBuilder().WithIPv4(1, uint32(vip)).WithTCP(5555, 80).Build()
+	applySpec(t, ForType(LoadBalancer), rules, p, 0)
+	if p.IPv4.Dst != uint32(backend) {
+		t.Errorf("dst = %s, want backend", packet.FormatIPv4(p.IPv4.Dst))
+	}
+	if p.TCP.DstPort != 8080 {
+		t.Errorf("dst port = %d, want 8080", p.TCP.DstPort)
+	}
+}
+
+func TestLoadBalancerPoolSelect(t *testing.T) {
+	spec := ForType(LoadBalancer)
+	tbl := pipeline.NewTable("lb", spec.Keys, 10)
+	for name, fn := range spec.Actions {
+		tbl.RegisterAction(name, fn)
+	}
+	// Rule whose action is the hash-based pool selection (tab_lbhash path).
+	vip := uint64(packet.IPv4Addr(20, 0, 0, 1))
+	if err := tbl.Insert(&pipeline.Rule{
+		Matches: []pipeline.Match{pipeline.Eq(vip), pipeline.Eq(80)},
+		Action:  "pool_select", Params: []uint64{0, 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	regs := pipeline.NewRegisterFile()
+	regs.Alloc("lb_pool", 256)
+	pool := []uint32{
+		packet.IPv4Addr(10, 0, 0, 1), packet.IPv4Addr(10, 0, 0, 2),
+		packet.IPv4Addr(10, 0, 0, 3), packet.IPv4Addr(10, 0, 0, 4),
+	}
+	for i, b := range pool {
+		regs.Write("lb_pool", i, int64(b))
+	}
+	ctx := &pipeline.Context{Regs: regs}
+
+	// Same flow always lands on the same backend; the backend is in the pool.
+	seen := map[uint32]bool{}
+	var first uint32
+	for trial := 0; trial < 3; trial++ {
+		p := packet.NewBuilder().WithIPv4(packet.IPv4Addr(1, 2, 3, 4), uint32(vip)).WithTCP(4321, 80).Build()
+		tbl.Apply(ctx, p)
+		if trial == 0 {
+			first = p.IPv4.Dst
+		} else if p.IPv4.Dst != first {
+			t.Fatal("pool selection not deterministic per flow")
+		}
+	}
+	inPool := false
+	for _, b := range pool {
+		if b == first {
+			inPool = true
+		}
+	}
+	if !inPool {
+		t.Errorf("selected backend %s not in pool", packet.FormatIPv4(first))
+	}
+	// Different flows spread across backends.
+	for sp := uint16(1000); sp < 1100; sp++ {
+		p := packet.NewBuilder().WithIPv4(packet.IPv4Addr(1, 2, 3, 4), uint32(vip)).WithTCP(sp, 80).Build()
+		tbl.Apply(ctx, p)
+		seen[p.IPv4.Dst] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("only %d backends used across 100 flows, want ≥3", len(seen))
+	}
+}
+
+func TestClassifierAndRouter(t *testing.T) {
+	clsRules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Eq(uint64(packet.ProtoTCP)), pipeline.Between(8000, 9000)},
+		Action:  "set_class", Params: []uint64{3},
+	}}
+	p := packet.NewBuilder().WithIPv4(1, packet.IPv4Addr(10, 1, 2, 3)).WithTCP(100, 8443).Build()
+	applySpec(t, ForType(TrafficClassifier), clsRules, p, 0)
+	if p.Meta.ClassID != 3 {
+		t.Errorf("class = %d, want 3", p.Meta.ClassID)
+	}
+
+	rtRules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Prefix(uint64(packet.IPv4Addr(10, 1, 0, 0)), 16)},
+		Action:  "fwd", Params: []uint64{17},
+	}}
+	ttl := p.IPv4.TTL
+	applySpec(t, ForType(Router), rtRules, p, 0)
+	if p.Meta.EgressPort != 17 {
+		t.Errorf("egress = %d, want 17", p.Meta.EgressPort)
+	}
+	if p.IPv4.TTL != ttl-1 {
+		t.Errorf("TTL = %d, want %d", p.IPv4.TTL, ttl-1)
+	}
+}
+
+func TestRouterTTLExpiry(t *testing.T) {
+	rtRules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Prefix(0, 0)},
+		Action:  "fwd", Params: []uint64{1},
+	}}
+	p := packet.NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).Build()
+	p.IPv4.TTL = 1
+	applySpec(t, ForType(Router), rtRules, p, 0)
+	if !p.Meta.Drop {
+		t.Error("TTL-expired packet not dropped")
+	}
+}
+
+func TestNATRewrite(t *testing.T) {
+	src := uint64(packet.IPv4Addr(192, 168, 0, 5))
+	pub := uint64(packet.IPv4Addr(203, 0, 113, 1))
+	rules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Eq(src), pipeline.Eq(3333)},
+		Action:  "snat", Params: []uint64{pub, 40000},
+	}}
+	p := packet.NewBuilder().WithIPv4(uint32(src), 9).WithUDP(3333, 53).Build()
+	applySpec(t, ForType(NAT), rules, p, 0)
+	if p.IPv4.Src != uint32(pub) || p.UDP.SrcPort != 40000 {
+		t.Errorf("snat result: %s:%d", packet.FormatIPv4(p.IPv4.Src), p.UDP.SrcPort)
+	}
+}
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	spec := ForType(RateLimiter)
+	tbl := pipeline.NewTable("rl", spec.Keys, 10)
+	for name, fn := range spec.Actions {
+		tbl.RegisterAction(name, fn)
+	}
+	// bucket 0: 1 token/ms, burst 3.
+	if err := tbl.Insert(&pipeline.Rule{
+		Matches: []pipeline.Match{pipeline.Eq(2)},
+		Action:  "limit", Params: []uint64{0, 1, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	regs := pipeline.NewRegisterFile()
+	regs.Alloc("rl_tokens", 256)
+	regs.Alloc("rl_last_ms", 256)
+	regs.Write("rl_tokens", 0, 3)
+
+	dropped := 0
+	for i := 0; i < 10; i++ {
+		p := packet.NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).Build()
+		p.Meta.ClassID = 2
+		tbl.Apply(&pipeline.Context{Regs: regs, NowNs: 0}, p)
+		if p.Meta.Drop {
+			dropped++
+		}
+	}
+	if dropped != 7 {
+		t.Errorf("dropped %d of 10 with burst 3, want 7", dropped)
+	}
+	// After 5 ms the bucket refills (1 token/ms, capped at burst).
+	p := packet.NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).Build()
+	p.Meta.ClassID = 2
+	tbl.Apply(&pipeline.Context{Regs: regs, NowNs: 5e6}, p)
+	if p.Meta.Drop {
+		t.Error("packet dropped after refill window")
+	}
+}
+
+func TestMonitorCounts(t *testing.T) {
+	spec := ForType(Monitor)
+	tbl := pipeline.NewTable("mon", spec.Keys, 10)
+	for name, fn := range spec.Actions {
+		tbl.RegisterAction(name, fn)
+	}
+	tbl.Insert(&pipeline.Rule{
+		Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard()},
+		Action:  "count", Params: []uint64{5},
+	})
+	regs := pipeline.NewRegisterFile()
+	regs.Alloc("mon_pkts", 1024)
+	regs.Alloc("mon_bytes", 1024)
+	ctx := &pipeline.Context{Regs: regs}
+	total := 0
+	for i := 0; i < 4; i++ {
+		p := packet.NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).WithWireLen(100 + 50*i).Build()
+		tbl.Apply(ctx, p)
+		total += p.WireLen()
+	}
+	if got := regs.Read("mon_pkts", 5); got != 4 {
+		t.Errorf("pkt count = %d, want 4", got)
+	}
+	if got := regs.Read("mon_bytes", 5); got != int64(total) {
+		t.Errorf("byte count = %d, want %d", got, total)
+	}
+}
+
+func TestDDoSSynGuard(t *testing.T) {
+	spec := ForType(DDoSMitigator)
+	tbl := pipeline.NewTable("ddos", spec.Keys, 10)
+	for name, fn := range spec.Actions {
+		tbl.RegisterAction(name, fn)
+	}
+	host := uint64(packet.IPv4Addr(10, 0, 0, 1))
+	tbl.Insert(&pipeline.Rule{
+		Matches: []pipeline.Match{
+			pipeline.Eq(host),
+			pipeline.Masked(uint64(packet.TCPSyn), uint64(packet.TCPSyn|packet.TCPAck)),
+		},
+		Action: "syn_guard", Params: []uint64{0, 3},
+	})
+	regs := pipeline.NewRegisterFile()
+	regs.Alloc("ddos_syn", 1024)
+	ctx := &pipeline.Context{Regs: regs}
+	dropped := 0
+	for i := 0; i < 5; i++ {
+		p := packet.NewBuilder().WithIPv4(9, uint32(host)).WithTCP(uint16(1000+i), 80).WithTCPFlags(packet.TCPSyn).Build()
+		tbl.Apply(ctx, p)
+		if p.Meta.Drop {
+			dropped++
+		}
+	}
+	if dropped != 2 {
+		t.Errorf("dropped %d of 5 SYNs with threshold 3, want 2", dropped)
+	}
+	// SYN+ACK must not match the guard rule.
+	p := packet.NewBuilder().WithIPv4(9, uint32(host)).WithTCP(99, 80).WithTCPFlags(packet.TCPSyn | packet.TCPAck).Build()
+	if r := tbl.Lookup(p); r != nil {
+		t.Error("SYN+ACK matched SYN guard")
+	}
+}
+
+func TestVPNEncapGrowsPacket(t *testing.T) {
+	rules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Prefix(uint64(packet.IPv4Addr(172, 16, 0, 0)), 12)},
+		Action:  "encap", Params: []uint64{7},
+	}}
+	p := packet.NewBuilder().WithIPv4(1, packet.IPv4Addr(172, 20, 1, 1)).WithTCP(1, 2).WithWireLen(200).Build()
+	before := p.WireLen()
+	applySpec(t, ForType(VPNGateway), rules, p, 0)
+	if p.WireLen() != before+28 {
+		t.Errorf("wire len %d, want %d", p.WireLen(), before+28)
+	}
+	if p.Meta.ClassID&0x8000 == 0 {
+		t.Error("tunnel mark not set")
+	}
+}
+
+func TestCacheIndexRedirect(t *testing.T) {
+	key := uint64(packet.IPv4Addr(10, 0, 9, 9))
+	rules := []ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Eq(key), pipeline.Eq(11211)},
+		Action:  "cache_hit", Params: []uint64{30, 0},
+	}}
+	p := packet.NewBuilder().WithIPv4(1, uint32(key)).WithUDP(999, 11211).Build()
+	applySpec(t, ForType(CacheIndex), rules, p, 0)
+	if p.Meta.EgressPort != 30 {
+		t.Errorf("egress = %d, want 30", p.Meta.EgressPort)
+	}
+}
+
+func TestSynthesizeValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, typ := range AllTypes() {
+		c := Synthesize(typ, 50, rng)
+		if len(c.Rules) != 50 {
+			t.Errorf("%v: %d rules, want 50", typ, len(c.Rules))
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: synthesized config invalid: %v", typ, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	c := &Config{Type: Firewall, Rules: []ConfigRule{{Matches: []pipeline.Match{pipeline.Eq(1)}, Action: "permit"}}}
+	if err := c.Validate(); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	c2 := &Config{Type: Type(99)}
+	if err := c2.Validate(); err == nil {
+		t.Error("invalid type accepted")
+	}
+	c3 := &Config{Type: Router, Rules: []ConfigRule{{Matches: []pipeline.Match{pipeline.Prefix(1, 8)}, Action: "zap"}}}
+	if err := c3.Validate(); err == nil {
+		t.Error("unknown action accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package p4c is a miniature match-action program compiler in the spirit
+// of Jose et al. (NSDI'15), the paper's citation [26]: it analyzes
+// read/write dependencies between match-action tables and assigns tables to
+// physical pipeline stages — dependent tables to strictly later stages,
+// independent tables packed into the same stage when the memory budget
+// allows (§II-B, "Applying P4 Programs to Switch Pipelines").
+//
+// SFP uses it to lay whole NFs (one big table each) onto stages and to
+// sanity-check that a control-plane placement is realizable as a program.
+package p4c
+
+import (
+	"fmt"
+	"sort"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+)
+
+// TableDecl declares one match-action table of a program.
+type TableDecl struct {
+	Name string
+	// Reads are the fields the table matches on or its actions read.
+	Reads []pipeline.FieldID
+	// Writes are the fields its actions may modify.
+	Writes []pipeline.FieldID
+	// Entries is the table's reserved capacity, for block accounting.
+	Entries int
+	// After lists explicit control-flow predecessors (table names that
+	// must execute earlier regardless of field dependencies), e.g. the
+	// paper's gateway-table if-else structure.
+	After []string
+}
+
+// Program is an ordered set of table declarations. Declaration order is
+// the program's control order: dependencies are only considered from
+// earlier to later declarations, as in a straight-line control flow.
+type Program struct {
+	Tables []TableDecl
+}
+
+// DepKind classifies a dependency between two tables.
+type DepKind int
+
+// Dependency kinds, in decreasing strictness.
+const (
+	// DepNone: the tables may share a stage.
+	DepNone DepKind = iota
+	// DepMatch: successor matches a field the predecessor writes — the
+	// successor must be in a strictly later stage.
+	DepMatch
+	// DepAction: both write the same field — strictly later stage (the
+	// last write must win).
+	DepAction
+	// DepControl: explicit control dependency — strictly later stage.
+	DepControl
+)
+
+// String names the dependency kind.
+func (k DepKind) String() string {
+	switch k {
+	case DepNone:
+		return "none"
+	case DepMatch:
+		return "match"
+	case DepAction:
+		return "action"
+	case DepControl:
+		return "control"
+	}
+	return fmt.Sprintf("dep(%d)", int(k))
+}
+
+// Classify returns the strongest dependency from pred to succ.
+func Classify(pred, succ *TableDecl) DepKind {
+	for _, name := range succ.After {
+		if name == pred.Name {
+			return DepControl
+		}
+	}
+	wset := map[pipeline.FieldID]bool{}
+	for _, f := range pred.Writes {
+		wset[f] = true
+	}
+	for _, f := range succ.Reads {
+		if wset[f] {
+			return DepMatch
+		}
+	}
+	for _, f := range succ.Writes {
+		if wset[f] {
+			return DepAction
+		}
+	}
+	return DepNone
+}
+
+// Layout is a compiled stage assignment.
+type Layout struct {
+	// StageOf maps table name to its 0-based physical stage.
+	StageOf map[string]int
+	// StagesUsed is the number of stages the program occupies.
+	StagesUsed int
+	// BlocksPerStage is the block usage the layout implies.
+	BlocksPerStage []int
+}
+
+// Config bounds the target pipeline.
+type Config struct {
+	Stages          int
+	BlocksPerStage  int
+	EntriesPerBlock int
+}
+
+// Compile assigns tables to stages: each table goes to the earliest stage
+// that is (a) strictly after every predecessor it depends on, and (b) has
+// block budget left. Tables are processed in declaration order, which the
+// caller guarantees is a valid topological order of the control flow.
+func Compile(prog *Program, cfg Config) (*Layout, error) {
+	if cfg.Stages <= 0 || cfg.BlocksPerStage <= 0 || cfg.EntriesPerBlock <= 0 {
+		return nil, fmt.Errorf("p4c: invalid target config %+v", cfg)
+	}
+	seen := map[string]bool{}
+	for _, t := range prog.Tables {
+		if t.Name == "" {
+			return nil, fmt.Errorf("p4c: unnamed table")
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("p4c: duplicate table %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	for _, t := range prog.Tables {
+		for _, a := range t.After {
+			if !seen[a] {
+				return nil, fmt.Errorf("p4c: table %q depends on unknown table %q", t.Name, a)
+			}
+		}
+	}
+
+	layout := &Layout{
+		StageOf:        make(map[string]int, len(prog.Tables)),
+		BlocksPerStage: make([]int, cfg.Stages),
+	}
+	blocksOf := func(entries int) int {
+		if entries <= 0 {
+			return 0
+		}
+		return (entries + cfg.EntriesPerBlock - 1) / cfg.EntriesPerBlock
+	}
+	for i := range prog.Tables {
+		t := &prog.Tables[i]
+		// Earliest legal stage from dependencies on earlier declarations.
+		minStage := 0
+		for j := 0; j < i; j++ {
+			pred := &prog.Tables[j]
+			if Classify(pred, t) != DepNone {
+				if s := layout.StageOf[pred.Name] + 1; s > minStage {
+					minStage = s
+				}
+			}
+		}
+		need := blocksOf(t.Entries)
+		placed := false
+		for s := minStage; s < cfg.Stages; s++ {
+			if layout.BlocksPerStage[s]+need <= cfg.BlocksPerStage {
+				layout.StageOf[t.Name] = s
+				layout.BlocksPerStage[s] += need
+				if s+1 > layout.StagesUsed {
+					layout.StagesUsed = s + 1
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("p4c: table %q does not fit (needs stage ≥ %d, %d blocks)", t.Name, minStage, need)
+		}
+	}
+	return layout, nil
+}
+
+// NFReads returns the fields an NF type's table matches or reads.
+func NFReads(t nf.Type) []pipeline.FieldID {
+	spec := nf.ForType(t)
+	reads := []pipeline.FieldID{pipeline.FieldTenantID, pipeline.FieldPass}
+	for _, k := range spec.Keys {
+		reads = append(reads, k.Field)
+	}
+	return reads
+}
+
+// NFWrites returns the fields an NF type's actions modify, from the NF
+// library's action semantics.
+func NFWrites(t nf.Type) []pipeline.FieldID {
+	switch t {
+	case nf.Firewall, nf.DDoSMitigator, nf.RateLimiter:
+		return nil // drop decisions only; no header/metadata fields matched downstream
+	case nf.LoadBalancer:
+		return []pipeline.FieldID{pipeline.FieldIPv4Dst, pipeline.FieldDstPort, pipeline.FieldL4Hash}
+	case nf.TrafficClassifier:
+		return []pipeline.FieldID{pipeline.FieldClassID}
+	case nf.Router:
+		return []pipeline.FieldID{pipeline.FieldIngressPort} // egress decision; TTL not matched by our NFs
+	case nf.NAT:
+		return []pipeline.FieldID{pipeline.FieldIPv4Src, pipeline.FieldSrcPort}
+	case nf.VPNGateway:
+		return []pipeline.FieldID{pipeline.FieldClassID}
+	case nf.Monitor, nf.CacheIndex:
+		return nil
+	}
+	return nil
+}
+
+// ChainProgram builds the single-tenant straight-line program of an SFC:
+// one table per NF in chain order, with reads/writes from the NF library.
+func ChainProgram(types []nf.Type, entries []int) (*Program, error) {
+	if len(entries) != 0 && len(entries) != len(types) {
+		return nil, fmt.Errorf("p4c: %d entry counts for %d NFs", len(entries), len(types))
+	}
+	prog := &Program{}
+	counts := map[nf.Type]int{}
+	for i, t := range types {
+		if !t.Valid() {
+			return nil, fmt.Errorf("p4c: invalid NF type %d", int(t))
+		}
+		counts[t]++
+		name := fmt.Sprintf("%s_%d", t, counts[t])
+		e := 0
+		if len(entries) > 0 {
+			e = entries[i]
+		}
+		prog.Tables = append(prog.Tables, TableDecl{
+			Name:    name,
+			Reads:   NFReads(t),
+			Writes:  NFWrites(t),
+			Entries: e,
+		})
+	}
+	return prog, nil
+}
+
+// CriticalPath returns the longest dependency chain length in the program —
+// the minimum number of stages any compiler needs for it.
+func CriticalPath(prog *Program) int {
+	depth := make([]int, len(prog.Tables))
+	longest := 0
+	for i := range prog.Tables {
+		depth[i] = 1
+		for j := 0; j < i; j++ {
+			if Classify(&prog.Tables[j], &prog.Tables[i]) != DepNone && depth[j]+1 > depth[i] {
+				depth[i] = depth[j] + 1
+			}
+		}
+		if depth[i] > longest {
+			longest = depth[i]
+		}
+	}
+	return longest
+}
+
+// StageSummary renders a layout by stage for human inspection.
+func StageSummary(l *Layout) []string {
+	byStage := make([][]string, l.StagesUsed)
+	for name, s := range l.StageOf {
+		byStage[s] = append(byStage[s], name)
+	}
+	out := make([]string, l.StagesUsed)
+	for s, names := range byStage {
+		sort.Strings(names)
+		out[s] = fmt.Sprintf("stage %d: %v (%d blocks)", s, names, l.BlocksPerStage[s])
+	}
+	return out
+}

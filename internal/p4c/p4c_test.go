@@ -1,0 +1,187 @@
+package p4c
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+)
+
+func cfg(stages, blocks, entries int) Config {
+	return Config{Stages: stages, BlocksPerStage: blocks, EntriesPerBlock: entries}
+}
+
+func TestClassify(t *testing.T) {
+	writerDst := &TableDecl{Name: "lb", Writes: []pipeline.FieldID{pipeline.FieldIPv4Dst}}
+	readerDst := &TableDecl{Name: "rt", Reads: []pipeline.FieldID{pipeline.FieldIPv4Dst}}
+	if k := Classify(writerDst, readerDst); k != DepMatch {
+		t.Errorf("writer→reader = %v, want match", k)
+	}
+	writer2 := &TableDecl{Name: "nat", Writes: []pipeline.FieldID{pipeline.FieldIPv4Dst}}
+	if k := Classify(writerDst, writer2); k != DepAction {
+		t.Errorf("writer→writer = %v, want action", k)
+	}
+	ctrl := &TableDecl{Name: "x", After: []string{"lb"}}
+	if k := Classify(writerDst, ctrl); k != DepControl {
+		t.Errorf("control dep = %v", k)
+	}
+	indep := &TableDecl{Name: "mon", Reads: []pipeline.FieldID{pipeline.FieldIPv4Src}}
+	if k := Classify(writerDst, indep); k != DepNone {
+		t.Errorf("independent = %v, want none", k)
+	}
+}
+
+func TestCompileDependentChain(t *testing.T) {
+	// Classifier writes class_id, rate limiter reads it: distinct stages.
+	prog, err := ChainProgram([]nf.Type{nf.TrafficClassifier, nf.RateLimiter}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := Compile(prog, cfg(4, 4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := layout.StageOf["traffic_classifier_1"]
+	rl := layout.StageOf["rate_limiter_1"]
+	if rl <= cls {
+		t.Errorf("rate limiter at stage %d, classifier at %d: dependency violated", rl, cls)
+	}
+}
+
+func TestCompilePacksIndependentTables(t *testing.T) {
+	// Firewall and monitor are independent: same stage when blocks allow.
+	prog, err := ChainProgram([]nf.Type{nf.Firewall, nf.Monitor}, []int{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := Compile(prog, cfg(4, 4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.StageOf["firewall_1"] != layout.StageOf["monitor_1"] {
+		t.Errorf("independent tables not packed: %v", layout.StageOf)
+	}
+	if layout.StagesUsed != 1 {
+		t.Errorf("stages used = %d, want 1", layout.StagesUsed)
+	}
+}
+
+func TestCompileBlockPressureSplits(t *testing.T) {
+	// Same independent pair, but one block per stage forces a split.
+	prog, _ := ChainProgram([]nf.Type{nf.Firewall, nf.Monitor}, []int{100, 100})
+	layout, err := Compile(prog, cfg(4, 1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.StageOf["firewall_1"] == layout.StageOf["monitor_1"] {
+		t.Error("tables share a stage beyond the block budget")
+	}
+}
+
+func TestCompileLBThenRouter(t *testing.T) {
+	// The paper's Fig. 2 chain: FW → TC → LB → Router. LB writes the dst
+	// address the router matches, so the router must come later.
+	prog, err := ChainProgram([]nf.Type{nf.Firewall, nf.TrafficClassifier, nf.LoadBalancer, nf.Router}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := Compile(prog, cfg(12, 8, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.StageOf["router_1"] <= layout.StageOf["load_balancer_1"] {
+		t.Error("router not after load balancer")
+	}
+	if got, want := CriticalPath(prog), 2; got != want {
+		t.Errorf("critical path = %d, want %d (LB→Router)", got, want)
+	}
+}
+
+func TestCompileDoesNotFit(t *testing.T) {
+	// A 3-deep dependency chain cannot compile into 2 stages.
+	prog := &Program{Tables: []TableDecl{
+		{Name: "a", Writes: []pipeline.FieldID{pipeline.FieldClassID}},
+		{Name: "b", Reads: []pipeline.FieldID{pipeline.FieldClassID}, Writes: []pipeline.FieldID{pipeline.FieldL4Hash}},
+		{Name: "c", Reads: []pipeline.FieldID{pipeline.FieldL4Hash}},
+	}}
+	if _, err := Compile(prog, cfg(2, 4, 100)); err == nil {
+		t.Error("3-deep chain compiled into 2 stages")
+	}
+	if _, err := Compile(prog, cfg(3, 4, 100)); err != nil {
+		t.Errorf("3-deep chain failed in 3 stages: %v", err)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(&Program{Tables: []TableDecl{{Name: ""}}}, cfg(2, 2, 10)); err == nil {
+		t.Error("unnamed table accepted")
+	}
+	if _, err := Compile(&Program{Tables: []TableDecl{{Name: "a"}, {Name: "a"}}}, cfg(2, 2, 10)); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := Compile(&Program{Tables: []TableDecl{{Name: "a", After: []string{"zzz"}}}}, cfg(2, 2, 10)); err == nil {
+		t.Error("unknown dependency accepted")
+	}
+	if _, err := Compile(&Program{}, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// Property: compiled layouts always respect dependencies and block budgets.
+func TestCompileProperties(t *testing.T) {
+	all := nf.AllTypes()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		types := make([]nf.Type, n)
+		entries := make([]int, n)
+		for i := range types {
+			types[i] = all[rng.Intn(len(all))]
+			entries[i] = 10 + rng.Intn(300)
+		}
+		prog, err := ChainProgram(types, entries)
+		if err != nil {
+			return false
+		}
+		target := cfg(2+rng.Intn(11), 1+rng.Intn(6), 100)
+		layout, err := Compile(prog, target)
+		if err != nil {
+			return true // not fitting is legal
+		}
+		// Dependencies respected.
+		for i := range prog.Tables {
+			for j := 0; j < i; j++ {
+				if Classify(&prog.Tables[j], &prog.Tables[i]) != DepNone {
+					if layout.StageOf[prog.Tables[i].Name] <= layout.StageOf[prog.Tables[j].Name] {
+						return false
+					}
+				}
+			}
+		}
+		// Block budget respected.
+		for _, b := range layout.BlocksPerStage {
+			if b > target.BlocksPerStage {
+				return false
+			}
+		}
+		// StagesUsed ≥ critical path.
+		return layout.StagesUsed >= CriticalPath(prog)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStageSummary(t *testing.T) {
+	prog, _ := ChainProgram([]nf.Type{nf.Firewall, nf.Monitor}, []int{50, 50})
+	layout, err := Compile(prog, cfg(4, 4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := StageSummary(layout)
+	if len(lines) != 1 {
+		t.Errorf("summary = %v", lines)
+	}
+}

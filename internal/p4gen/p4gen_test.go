@@ -1,0 +1,133 @@
+package p4gen
+
+import (
+	"strings"
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+func buildSwitch(t *testing.T) *vswitch.VSwitch {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 4
+	v := vswitch.New(pipeline.New(cfg))
+	for stage, typ := range []nf.Type{nf.Firewall, nf.TrafficClassifier, nf.LoadBalancer, nf.Router} {
+		if _, err := v.InstallPhysicalNF(stage, typ, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+func TestEmitStructure(t *testing.T) {
+	src := Emit(buildSwitch(t), Options{})
+	// Top-level skeleton.
+	for _, want := range []string{
+		"#include <v1model.p4>",
+		"parser SfpParser",
+		"control SfpIngress",
+		"control SfpDeparser",
+		"V1Switch(",
+		"struct metadata_t",
+		"bit<32> tenant_id;",
+		"bit<8>  pass;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// One table per physical NF, in stage order, each with the tenant/pass
+	// prefix and the No-Ops default.
+	for _, tbl := range []string{"s0_firewall", "s1_traffic_classifier", "s2_load_balancer", "s3_router"} {
+		if !strings.Contains(src, "table "+tbl+" {") {
+			t.Errorf("missing table %s", tbl)
+		}
+		if !strings.Contains(src, tbl+".apply();") {
+			t.Errorf("table %s never applied", tbl)
+		}
+		if !strings.Contains(src, "default_action = "+tbl+"_noop()") {
+			t.Errorf("table %s missing No-Ops default", tbl)
+		}
+	}
+	// Every table matches tenant and pass first.
+	if n := strings.Count(src, "meta.tenant_id: exact;"); n != 4 {
+		t.Errorf("tenant_id matched in %d tables, want 4", n)
+	}
+	if n := strings.Count(src, "meta.pass: exact;"); n != 4 {
+		t.Errorf("pass matched in %d tables, want 4", n)
+	}
+	// Recirculation handling with pass increment (§IV).
+	if !strings.Contains(src, "meta.pass = meta.pass + 1;") {
+		t.Error("missing pass increment before recirculation")
+	}
+	if !strings.Contains(src, "recirculate_preserving_field_list") {
+		t.Error("missing recirculate primitive")
+	}
+	// Stage order: firewall's apply precedes the router's.
+	if strings.Index(src, "s0_firewall.apply") > strings.Index(src, "s3_router.apply") {
+		t.Error("stage application out of order")
+	}
+}
+
+func TestEmitActionsCarryREC(t *testing.T) {
+	src := Emit(buildSwitch(t), Options{})
+	// Every non-noop action takes the REC argument and folds it into the
+	// recirculation flag, per §IV.
+	for _, a := range []string{"s0_firewall_permit", "s2_load_balancer_dnat", "s3_router_fwd", "s1_traffic_classifier_set_class"} {
+		if !strings.Contains(src, "action "+a+"(") {
+			t.Errorf("missing action %s", a)
+			continue
+		}
+		decl := src[strings.Index(src, "action "+a+"("):]
+		decl = decl[:strings.Index(decl, "\n    action")+1]
+		if !strings.Contains(decl, "bit<1> rec") {
+			t.Errorf("action %s lacks the REC argument", a)
+		}
+	}
+	if !strings.Contains(src, "meta.recirculate_flag = meta.recirculate_flag | rec;") {
+		t.Error("REC argument not folded into the recirculation flag")
+	}
+}
+
+func TestEmitTernaryWidening(t *testing.T) {
+	// The LB's exact VIP key must appear as ternary in the physical table
+	// (catch-all steering needs wildcards).
+	src := Emit(buildSwitch(t), Options{})
+	tbl := src[strings.Index(src, "table s2_load_balancer"):]
+	tbl = tbl[:strings.Index(tbl, "}")+1]
+	if !strings.Contains(tbl, "hdr.ipv4.dst_addr: ternary;") {
+		t.Errorf("LB VIP key not widened to ternary:\n%s", tbl)
+	}
+}
+
+func TestEmitRegisters(t *testing.T) {
+	src := Emit(buildSwitch(t), Options{})
+	if !strings.Contains(src, "register<bit<64>>(256) lb_pool_2;") {
+		t.Error("missing LB pool register for stage 2")
+	}
+}
+
+func TestEmitAllTypes(t *testing.T) {
+	// Every catalogue NF emits a syntactically plausible table.
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 10
+	v := vswitch.New(pipeline.New(cfg))
+	for i, typ := range nf.AllTypes() {
+		if _, err := v.InstallPhysicalNF(i, typ, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := Emit(v, Options{ProgramName: "all_types"})
+	for i, typ := range nf.AllTypes() {
+		if !strings.Contains(src, "table s"+string(rune('0'+i))+"_"+typ.String()) && i < 10 {
+			t.Errorf("missing table for %v at stage %d", typ, i)
+		}
+	}
+	// Braces balance — a cheap structural sanity check.
+	if o, c := strings.Count(src, "{"), strings.Count(src, "}"); o != c {
+		t.Errorf("unbalanced braces: %d open, %d close", o, c)
+	}
+}

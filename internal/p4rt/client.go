@@ -1,0 +1,229 @@
+package p4rt
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/vswitch"
+)
+
+// Client is the controller-side handle to a remote switch.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a switch daemon.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one synchronous RPC.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.w, body); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	raw, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Type: MsgPing})
+	return err
+}
+
+// InstallPhysical pre-installs a physical NF on the remote switch.
+func (c *Client) InstallPhysical(stage int, t nf.Type, capacity int) error {
+	_, err := c.call(&Request{Type: MsgInstallPhysical, Stage: stage, NFType: t.String(), Capacity: capacity})
+	return err
+}
+
+// Allocate installs a tenant SFC using the switch's first-fit folding and
+// returns the landing placements and pass count.
+func (c *Client) Allocate(sfc *vswitch.SFC) ([]vswitch.Placement, int, error) {
+	resp, err := c.call(&Request{Type: MsgAllocate, SFC: FromSFC(sfc)})
+	if err != nil {
+		return nil, 0, err
+	}
+	pls, err := toPlacements(resp.Placements)
+	return pls, resp.Passes, err
+}
+
+// AllocateAt installs a tenant SFC at control-plane-chosen placements.
+func (c *Client) AllocateAt(sfc *vswitch.SFC, placements []vswitch.Placement) (int, error) {
+	resp, err := c.call(&Request{
+		Type: MsgAllocateAt, SFC: FromSFC(sfc), Placements: fromPlacements(placements),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Passes, nil
+}
+
+// Deallocate removes a tenant's rules.
+func (c *Client) Deallocate(tenant uint32) error {
+	_, err := c.call(&Request{Type: MsgDeallocate, Tenant: tenant})
+	return err
+}
+
+// Layout reads the per-stage physical NF names.
+func (c *Client) Layout() ([][]string, error) {
+	resp, err := c.call(&Request{Type: MsgLayout})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Layout, nil
+}
+
+// Stats reads switch resource counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(&Request{Type: MsgStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, fmt.Errorf("p4rt: stats missing from response")
+	}
+	return *resp.Stats, nil
+}
+
+// Inject sends one wire-format packet through the remote pipeline at the
+// given simulated timestamp and returns the processing outcome.
+func (c *Client) Inject(wire []byte, nowNs float64) (InjectResult, error) {
+	resp, err := c.call(&Request{Type: MsgInject, Wire: wire, NowNs: nowNs})
+	if err != nil {
+		return InjectResult{}, err
+	}
+	if resp.Inject == nil {
+		return InjectResult{}, fmt.Errorf("p4rt: inject result missing")
+	}
+	return *resp.Inject, nil
+}
+
+// VSwitchTarget adapts a vswitch.VSwitch to the server Target interface.
+type VSwitchTarget struct {
+	V *vswitch.VSwitch
+}
+
+// InstallPhysical implements Target.
+func (t *VSwitchTarget) InstallPhysical(stage int, typ nf.Type, capacity int) error {
+	_, err := t.V.InstallPhysicalNF(stage, typ, capacity)
+	return err
+}
+
+// Allocate implements Target.
+func (t *VSwitchTarget) Allocate(spec *SFCSpec) ([]PlacementSpec, int, error) {
+	sfc, err := spec.ToSFC()
+	if err != nil {
+		return nil, 0, err
+	}
+	alloc, err := t.V.Allocate(sfc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fromPlacements(alloc.Placements), alloc.Passes, nil
+}
+
+// AllocateAt implements Target.
+func (t *VSwitchTarget) AllocateAt(spec *SFCSpec, placements []PlacementSpec) (int, error) {
+	sfc, err := spec.ToSFC()
+	if err != nil {
+		return 0, err
+	}
+	pls, err := toPlacements(placements)
+	if err != nil {
+		return 0, err
+	}
+	alloc, err := t.V.AllocateAt(sfc, pls)
+	if err != nil {
+		return 0, err
+	}
+	return alloc.Passes, nil
+}
+
+// Deallocate implements Target.
+func (t *VSwitchTarget) Deallocate(tenant uint32) error {
+	return t.V.Deallocate(tenant)
+}
+
+// Layout implements Target.
+func (t *VSwitchTarget) Layout() [][]string {
+	raw := t.V.Layout()
+	out := make([][]string, len(raw))
+	for s, types := range raw {
+		for _, typ := range types {
+			out[s] = append(out[s], typ.String())
+		}
+	}
+	return out
+}
+
+// Inject implements Target: parse the wire bytes, run the pipeline, and
+// deparse the egress packet.
+func (t *VSwitchTarget) Inject(wire []byte, nowNs float64) (InjectResult, error) {
+	p, err := packet.Parse(wire, false)
+	if err != nil {
+		return InjectResult{}, err
+	}
+	res := t.V.Process(p, nowNs)
+	out := InjectResult{
+		LatencyNs:     res.LatencyNs,
+		Passes:        res.Passes,
+		Dropped:       res.Dropped,
+		EgressPort:    res.EgressPort,
+		TablesApplied: res.TablesApplied,
+	}
+	if !res.Dropped {
+		out.Wire = packet.Deparse(p)
+	}
+	return out, nil
+}
+
+// Stats implements Target.
+func (t *VSwitchTarget) Stats() Stats {
+	return Stats{
+		Stages:        t.V.Pipe.Cfg.Stages,
+		BlocksUsed:    t.V.Pipe.BlocksUsed(),
+		EntriesUsed:   t.V.Pipe.EntriesUsed(),
+		BandwidthGbps: t.V.BandwidthUsed(),
+		Tenants:       t.V.Tenants(),
+		Processed:     t.V.Pipe.Processed,
+		Recirculated:  t.V.Pipe.Recirculated,
+	}
+}

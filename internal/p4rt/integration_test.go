@@ -1,0 +1,129 @@
+package p4rt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sfp/internal/model"
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/placement"
+	"sfp/internal/traffic"
+	"sfp/internal/vswitch"
+)
+
+// TestControlPlaneToDataPlane is the full-stack integration: the placement
+// optimizer decides where chains go, the p4rt client installs physical NFs
+// and tenant rules on a remote switch over TCP, and packets traverse with
+// exactly the pass counts the model predicted.
+func TestControlPlaneToDataPlane(t *testing.T) {
+	// Remote switch.
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 4
+	cfg.MaxPasses = 3
+	v := vswitch.New(pipeline.New(cfg))
+	srv := NewServer(&VSwitchTarget{V: v})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Synthesize tenant SFCs and solve the joint placement.
+	rng := rand.New(rand.NewSource(99))
+	chains := traffic.GenChains(rng, 4, traffic.ChainParams{MeanLen: 3, RuleMin: 5, RuleMax: 15})
+	sfcs := make(map[int]*vswitch.SFC, len(chains))
+	in := &model.Instance{
+		Switch: model.SwitchConfig{
+			Stages: cfg.Stages, BlocksPerStage: cfg.BlocksPerStage,
+			EntriesPerBlock: cfg.EntriesPerBlock, CapacityGbps: cfg.CapacityGbps,
+		},
+		NumTypes: nf.TypeCount,
+		Recirc:   cfg.MaxPasses - 1,
+	}
+	for _, c := range chains {
+		sfc := traffic.ToSFC(rng, c, 15)
+		sfcs[c.ID] = sfc
+		mc := &model.Chain{ID: c.ID, BandwidthGbps: c.BandwidthGbps}
+		for _, cfgNF := range sfc.NFs {
+			mc.NFs = append(mc.NFs, model.ChainNF{Type: int(cfgNF.Type), Rules: len(cfgNF.Rules)})
+		}
+		in.Chains = append(in.Chains, mc)
+	}
+	res, err := placement.SolveGreedy(in, placement.GreedyOptions{Consolidate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Install physical NFs over the wire, sized generously (+1 entry per
+	// box for pass-tail catch-alls).
+	S := cfg.Stages
+	for i := range res.Assignment.X {
+		for s, on := range res.Assignment.X[i] {
+			if on {
+				if err := cli.InstallPhysical(s, nf.Type(i+1), 200); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Install each deployed chain at the optimizer's placements.
+	installed := 0
+	for l, mc := range in.Chains {
+		if !res.Assignment.Deployed(l) {
+			continue
+		}
+		pls := make([]vswitch.Placement, len(res.Assignment.Stages[l]))
+		for j, k := range res.Assignment.Stages[l] {
+			pls[j] = vswitch.Placement{NFIndex: j, Type: nf.Type(mc.NFs[j].Type), Stage: k % S, Pass: k / S}
+		}
+		passes, err := cli.AllocateAt(sfcs[mc.ID], pls)
+		if err != nil {
+			t.Fatalf("chain %d: %v", mc.ID, err)
+		}
+		if want := res.Assignment.Passes(l, S); passes != want {
+			t.Errorf("chain %d: switch reports %d passes, model %d", mc.ID, passes, want)
+		}
+		installed++
+	}
+	if installed == 0 {
+		t.Fatal("optimizer deployed nothing")
+	}
+
+	// Stats over the wire agree with the model.
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != installed {
+		t.Errorf("switch tenants = %d, want %d", st.Tenants, installed)
+	}
+	m := model.ComputeMetrics(in, res.Assignment, true)
+	if st.BandwidthGbps < m.BackplaneGbps-1e-6 || st.BandwidthGbps > m.BackplaneGbps+1e-6 {
+		t.Errorf("switch bandwidth %v, model backplane %v", st.BandwidthGbps, m.BackplaneGbps)
+	}
+
+	// Packets traverse with the modeled pass counts.
+	for l, mc := range in.Chains {
+		if !res.Assignment.Deployed(l) {
+			continue
+		}
+		p := packet.NewBuilder().
+			WithTenant(uint32(mc.ID)).
+			WithIPv4(packet.IPv4Addr(10, 0, 0, 1), packet.IPv4Addr(10, 0, 0, 2)).
+			WithTCP(1234, 80).
+			Build()
+		got := v.Process(p, 0)
+		if want := res.Assignment.Passes(l, S); got.Passes != want {
+			t.Errorf("chain %d packet: %d passes, want %d", mc.ID, got.Passes, want)
+		}
+	}
+}

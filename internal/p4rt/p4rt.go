@@ -1,0 +1,191 @@
+// Package p4rt is SFP's controller↔switch control-plane API — a compact,
+// JSON-over-TCP stand-in for P4Runtime. The switch side (Server) fronts a
+// vswitch.VSwitch; the controller side (Client) installs physical NFs,
+// allocates and deallocates tenant SFCs, and reads resource counters. The
+// protocol is length-delimited JSON frames over a single TCP connection,
+// one outstanding request at a time per connection (clients may open many).
+package p4rt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// MsgType enumerates the RPCs.
+type MsgType string
+
+// RPC names.
+const (
+	MsgInstallPhysical MsgType = "install_physical"
+	MsgAllocate        MsgType = "allocate"
+	MsgAllocateAt      MsgType = "allocate_at"
+	MsgDeallocate      MsgType = "deallocate"
+	MsgLayout          MsgType = "layout"
+	MsgStats           MsgType = "stats"
+	MsgPing            MsgType = "ping"
+	MsgInject          MsgType = "inject"
+)
+
+// Request is one controller→switch message.
+type Request struct {
+	Type MsgType `json:"type"`
+	// InstallPhysical
+	Stage    int    `json:"stage,omitempty"`
+	NFType   string `json:"nf_type,omitempty"`
+	Capacity int    `json:"capacity,omitempty"`
+	// Allocate / AllocateAt / Deallocate
+	SFC        *SFCSpec        `json:"sfc,omitempty"`
+	Tenant     uint32          `json:"tenant,omitempty"`
+	Placements []PlacementSpec `json:"placements,omitempty"`
+	// Inject: a wire-format packet (the switch parses it, runs the
+	// pipeline, and reports the outcome) plus the simulated timestamp.
+	Wire  []byte  `json:"wire,omitempty"`
+	NowNs float64 `json:"now_ns,omitempty"`
+}
+
+// Response is one switch→controller message.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Allocate*: where the SFC landed.
+	Placements []PlacementSpec `json:"placements,omitempty"`
+	Passes     int             `json:"passes,omitempty"`
+	// Layout: per-stage NF type names.
+	Layout [][]string `json:"layout,omitempty"`
+	// Stats.
+	Stats *Stats `json:"stats,omitempty"`
+	// Inject: processing outcome and the egress packet bytes.
+	Inject *InjectResult `json:"inject,omitempty"`
+}
+
+// InjectResult reports what the pipeline did to an injected packet.
+type InjectResult struct {
+	LatencyNs     float64 `json:"latency_ns"`
+	Passes        int     `json:"passes"`
+	Dropped       bool    `json:"dropped"`
+	EgressPort    uint16  `json:"egress_port"`
+	TablesApplied int     `json:"tables_applied"`
+	// Wire is the deparsed egress packet (empty when dropped).
+	Wire []byte `json:"wire,omitempty"`
+}
+
+// SFCSpec is the wire form of a tenant SFC.
+type SFCSpec struct {
+	Tenant        uint32   `json:"tenant"`
+	BandwidthGbps float64  `json:"bandwidth_gbps"`
+	NFs           []NFSpec `json:"nfs"`
+}
+
+// NFSpec is the wire form of one logical NF.
+type NFSpec struct {
+	Type  string     `json:"type"`
+	Rules []RuleSpec `json:"rules"`
+}
+
+// RuleSpec is the wire form of one tenant rule.
+type RuleSpec struct {
+	Priority int         `json:"priority,omitempty"`
+	Matches  []MatchSpec `json:"matches"`
+	Action   string      `json:"action"`
+	Params   []uint64    `json:"params,omitempty"`
+}
+
+// MatchSpec is the wire form of one match field value.
+type MatchSpec struct {
+	Value     uint64 `json:"value,omitempty"`
+	Mask      uint64 `json:"mask,omitempty"`
+	PrefixLen int    `json:"prefix_len,omitempty"`
+	Lo        uint64 `json:"lo,omitempty"`
+	Hi        uint64 `json:"hi,omitempty"`
+}
+
+// PlacementSpec is the wire form of one box placement.
+type PlacementSpec struct {
+	NFIndex int    `json:"nf_index"`
+	Type    string `json:"type"`
+	Stage   int    `json:"stage"`
+	Pass    int    `json:"pass"`
+}
+
+// Stats reports switch resource usage.
+type Stats struct {
+	Stages        int     `json:"stages"`
+	BlocksUsed    int     `json:"blocks_used"`
+	EntriesUsed   int     `json:"entries_used"`
+	BandwidthGbps float64 `json:"bandwidth_gbps"`
+	Tenants       int     `json:"tenants"`
+	Processed     uint64  `json:"processed"`
+	Recirculated  uint64  `json:"recirculated"`
+}
+
+// ToSFC converts the wire SFC to the vswitch form.
+func (s *SFCSpec) ToSFC() (*vswitch.SFC, error) {
+	out := &vswitch.SFC{Tenant: s.Tenant, BandwidthGbps: s.BandwidthGbps}
+	for i, n := range s.NFs {
+		t, err := nf.ParseType(n.Type)
+		if err != nil {
+			return nil, fmt.Errorf("p4rt: NF %d: %w", i, err)
+		}
+		cfg := &nf.Config{Type: t}
+		for _, r := range n.Rules {
+			matches := make([]pipeline.Match, len(r.Matches))
+			for k, m := range r.Matches {
+				matches[k] = pipeline.Match{Value: m.Value, Mask: m.Mask, PrefixLen: m.PrefixLen, Lo: m.Lo, Hi: m.Hi}
+			}
+			cfg.Rules = append(cfg.Rules, nf.ConfigRule{
+				Priority: r.Priority, Matches: matches, Action: r.Action, Params: r.Params,
+			})
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		out.NFs = append(out.NFs, cfg)
+	}
+	return out, nil
+}
+
+// FromSFC converts a vswitch SFC to the wire form.
+func FromSFC(s *vswitch.SFC) *SFCSpec {
+	spec := &SFCSpec{Tenant: s.Tenant, BandwidthGbps: s.BandwidthGbps}
+	for _, cfg := range s.NFs {
+		n := NFSpec{Type: cfg.Type.String()}
+		for _, r := range cfg.Rules {
+			matches := make([]MatchSpec, len(r.Matches))
+			for k, m := range r.Matches {
+				matches[k] = MatchSpec{Value: m.Value, Mask: m.Mask, PrefixLen: m.PrefixLen, Lo: m.Lo, Hi: m.Hi}
+			}
+			n.Rules = append(n.Rules, RuleSpec{Priority: r.Priority, Matches: matches, Action: r.Action, Params: r.Params})
+		}
+		spec.NFs = append(spec.NFs, n)
+	}
+	return spec
+}
+
+// toPlacements converts wire placements to vswitch form.
+func toPlacements(specs []PlacementSpec) ([]vswitch.Placement, error) {
+	out := make([]vswitch.Placement, len(specs))
+	for i, s := range specs {
+		t, err := nf.ParseType(s.Type)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vswitch.Placement{NFIndex: s.NFIndex, Type: t, Stage: s.Stage, Pass: s.Pass}
+	}
+	return out, nil
+}
+
+// fromPlacements converts vswitch placements to wire form.
+func fromPlacements(pls []vswitch.Placement) []PlacementSpec {
+	out := make([]PlacementSpec, len(pls))
+	for i, p := range pls {
+		out[i] = PlacementSpec{NFIndex: p.NFIndex, Type: p.Type.String(), Stage: p.Stage, Pass: p.Pass}
+	}
+	return out
+}
+
+// marshal encodes any message as one JSON frame.
+func marshal(v any) ([]byte, error) { return json.Marshal(v) }

@@ -1,0 +1,257 @@
+package p4rt
+
+import (
+	"testing"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+func startServer(t *testing.T) (*Client, *vswitch.VSwitch, func()) {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	v := vswitch.New(pipeline.New(cfg))
+	srv := NewServer(&VSwitchTarget{V: v})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return c, v, func() {
+		c.Close()
+		srv.Close()
+	}
+}
+
+func wireSFC(tenant uint32) *vswitch.SFC {
+	return &vswitch.SFC{
+		Tenant:        tenant,
+		BandwidthGbps: 10,
+		NFs: []*nf.Config{
+			{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+				Action:  "permit",
+			}}},
+			{Type: nf.Router, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Prefix(uint64(packet.IPv4Addr(10, 0, 0, 0)), 8)},
+				Action:  "fwd", Params: []uint64{7},
+			}}},
+		},
+	}
+}
+
+func TestPing(t *testing.T) {
+	c, _, cleanup := startServer(t)
+	defer cleanup()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+
+	// Install physical NFs remotely.
+	if err := c.InstallPhysical(0, nf.Firewall, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(1, nf.Router, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate install surfaces the server-side error.
+	if err := c.InstallPhysical(0, nf.Firewall, 100); err == nil {
+		t.Error("duplicate install accepted")
+	}
+
+	// Allocate a tenant chain.
+	pls, passes, err := c.Allocate(wireSFC(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 1 || len(pls) != 2 {
+		t.Fatalf("passes=%d placements=%v", passes, pls)
+	}
+
+	// The rules really landed: a packet gets routed.
+	p := packet.NewBuilder().WithTenant(5).WithIPv4(1, packet.IPv4Addr(10, 1, 2, 3)).WithTCP(1, 80).Build()
+	v.Process(p, 0)
+	if p.Meta.EgressPort != 7 {
+		t.Errorf("egress = %d, want 7", p.Meta.EgressPort)
+	}
+
+	// Layout and stats reflect the state.
+	layout, err := c.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 3 || layout[0][0] != "firewall" || layout[1][0] != "router" {
+		t.Errorf("layout = %v", layout)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != 1 || st.EntriesUsed != 2 || st.BandwidthGbps != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Deallocate and confirm release.
+	if err := c.Deallocate(5); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.Stats()
+	if st.Tenants != 0 || st.EntriesUsed != 0 {
+		t.Errorf("stats after dealloc = %+v", st)
+	}
+	if err := c.Deallocate(5); err == nil {
+		t.Error("double deallocate accepted")
+	}
+}
+
+func TestAllocateAtRemote(t *testing.T) {
+	c, _, cleanup := startServer(t)
+	defer cleanup()
+	if err := c.InstallPhysical(0, nf.Router, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(2, nf.Firewall, 100); err != nil {
+		t.Fatal(err)
+	}
+	sfc := wireSFC(9) // firewall then router: needs pass folding with this layout
+	placements := []vswitch.Placement{
+		{NFIndex: 0, Type: nf.Firewall, Stage: 2, Pass: 0},
+		{NFIndex: 1, Type: nf.Router, Stage: 0, Pass: 1},
+	}
+	passes, err := c.AllocateAt(sfc, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 2 {
+		t.Errorf("passes = %d, want 2", passes)
+	}
+}
+
+func TestAllocateErrorsPropagate(t *testing.T) {
+	c, _, cleanup := startServer(t)
+	defer cleanup()
+	// No physical NFs installed: allocation must fail cleanly.
+	if _, _, err := c.Allocate(wireSFC(1)); err == nil {
+		t.Error("allocation without physical NFs accepted")
+	}
+}
+
+func TestSFCSpecRoundTrip(t *testing.T) {
+	orig := wireSFC(3)
+	spec := FromSFC(orig)
+	back, err := spec.ToSFC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tenant != orig.Tenant || back.BandwidthGbps != orig.BandwidthGbps {
+		t.Error("header fields lost")
+	}
+	if len(back.NFs) != len(orig.NFs) {
+		t.Fatal("NF count lost")
+	}
+	for i := range back.NFs {
+		if back.NFs[i].Type != orig.NFs[i].Type || len(back.NFs[i].Rules) != len(orig.NFs[i].Rules) {
+			t.Errorf("NF %d mismatch", i)
+		}
+	}
+	// Bad type name is rejected.
+	spec.NFs[0].Type = "bogus"
+	if _, err := spec.ToSFC(); err == nil {
+		t.Error("bogus type accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c1, _, cleanup := startServer(t)
+	defer cleanup()
+	if err := c1.InstallPhysical(0, nf.Firewall, 1000); err != nil {
+		t.Fatal(err)
+	}
+	addr := c1.conn.RemoteAddr().String()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(tenant uint32) {
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			sfc := &vswitch.SFC{Tenant: tenant, BandwidthGbps: 1, NFs: []*nf.Config{
+				{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+					Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+					Action:  "permit",
+				}}},
+			}}
+			if _, _, err := c.Allocate(sfc); err != nil {
+				done <- err
+				return
+			}
+			done <- c.Deallocate(tenant)
+		}(uint32(100 + i))
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInjectOverWire(t *testing.T) {
+	c, _, cleanup := startServer(t)
+	defer cleanup()
+	if err := c.InstallPhysical(0, nf.Firewall, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(1, nf.Router, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Allocate(wireSFC(12)); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant identification travels in the VLAN tag on the wire.
+	p := packet.NewBuilder().
+		WithVLAN(12).
+		WithIPv4(packet.IPv4Addr(1, 2, 3, 4), packet.IPv4Addr(10, 1, 2, 3)).
+		WithTCP(999, 80).
+		WithWireLen(128).
+		Build()
+	res, err := c.Inject(packet.Deparse(p), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped || res.Passes != 1 || res.EgressPort != 7 {
+		t.Fatalf("inject result: %+v", res)
+	}
+	if res.TablesApplied != 2 {
+		t.Errorf("tables applied = %d, want 2", res.TablesApplied)
+	}
+	if res.LatencyNs <= 0 {
+		t.Error("no latency reported")
+	}
+	// The egress packet parses and still carries the VLAN tag.
+	out, err := packet.Parse(res.Wire, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.HasVLAN || out.VLAN.VID != 12 {
+		t.Errorf("egress packet lost tenant tag: %+v", out.VLAN)
+	}
+	// Garbage injection errors cleanly.
+	if _, err := c.Inject([]byte{1, 2, 3}, 0); err == nil {
+		t.Error("truncated injection accepted")
+	}
+}

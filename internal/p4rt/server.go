@@ -1,0 +1,221 @@
+package p4rt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sfp/internal/nf"
+)
+
+// frame limits protect the server from hostile or corrupt peers.
+const maxFrame = 16 << 20
+
+// writeFrame emits a 4-byte big-endian length followed by the JSON body.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("p4rt: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-delimited frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("p4rt: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Target is the switch-side surface the server drives. vswitch.VSwitch
+// satisfies it; tests may substitute fakes.
+type Target interface {
+	InstallPhysical(stage int, t nf.Type, capacity int) error
+	Allocate(sfc *SFCSpec) ([]PlacementSpec, int, error)
+	AllocateAt(sfc *SFCSpec, placements []PlacementSpec) (int, error)
+	Deallocate(tenant uint32) error
+	Layout() [][]string
+	Stats() Stats
+	Inject(wire []byte, nowNs float64) (InjectResult, error)
+}
+
+// Server serves the control API over TCP.
+type Server struct {
+	target Target
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a target.
+func NewServer(target Target) *Server {
+	return &Server{target: target, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the address and serves until Close. It returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		var req Request
+		resp := Response{OK: true}
+		if err := json.Unmarshal(body, &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = s.dispatch(&req)
+		}
+		out, err := marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(w, out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch serializes all target access: the data-plane structures are not
+// concurrent-safe, matching a single switch driver thread.
+var dispatchMu sync.Mutex
+
+func (s *Server) dispatch(req *Request) Response {
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	switch req.Type {
+	case MsgPing:
+		return Response{OK: true}
+	case MsgInstallPhysical:
+		t, err := nf.ParseType(req.NFType)
+		if err != nil {
+			return errResp(err)
+		}
+		if err := s.target.InstallPhysical(req.Stage, t, req.Capacity); err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true}
+	case MsgAllocate:
+		if req.SFC == nil {
+			return errResp(errors.New("allocate: missing sfc"))
+		}
+		placements, passes, err := s.target.Allocate(req.SFC)
+		if err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true, Placements: placements, Passes: passes}
+	case MsgAllocateAt:
+		if req.SFC == nil {
+			return errResp(errors.New("allocate_at: missing sfc"))
+		}
+		passes, err := s.target.AllocateAt(req.SFC, req.Placements)
+		if err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true, Placements: req.Placements, Passes: passes}
+	case MsgDeallocate:
+		if err := s.target.Deallocate(req.Tenant); err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true}
+	case MsgLayout:
+		return Response{OK: true, Layout: s.target.Layout()}
+	case MsgStats:
+		st := s.target.Stats()
+		return Response{OK: true, Stats: &st}
+	case MsgInject:
+		res, err := s.target.Inject(req.Wire, req.NowNs)
+		if err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true, Inject: &res}
+	}
+	return errResp(fmt.Errorf("unknown message type %q", req.Type))
+}
+
+func errResp(err error) Response { return Response{Error: err.Error()} }
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,96 @@
+package packet
+
+// Builder assembles packets fluently for examples, tests, and the traffic
+// generator. The zero value produces a bare Ethernet frame; each With method
+// returns the builder for chaining and Build returns an independent Packet.
+type Builder struct {
+	p Packet
+}
+
+// NewBuilder returns a builder pre-populated with sane defaults: an IPv4
+// ethertype and a TTL of 64.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.p.Eth.EtherType = EtherTypeIPv4
+	b.p.IPv4.TTL = 64
+	return b
+}
+
+// WithEth sets the Ethernet addresses.
+func (b *Builder) WithEth(src, dst MAC) *Builder {
+	b.p.Eth.Src, b.p.Eth.Dst = src, dst
+	return b
+}
+
+// WithVLAN inserts an 802.1Q tag carrying vid; the tenant ID metadata is set
+// to match, as the parser would.
+func (b *Builder) WithVLAN(vid uint16) *Builder {
+	b.p.HasVLAN = true
+	b.p.VLAN.VID = vid & 0x0fff
+	b.p.VLAN.EtherType = EtherTypeIPv4
+	b.p.Eth.EtherType = EtherTypeVLAN
+	b.p.Meta.TenantID = uint32(vid & 0x0fff)
+	return b
+}
+
+// WithIPv4 sets the network header endpoints.
+func (b *Builder) WithIPv4(src, dst uint32) *Builder {
+	b.p.HasIPv4 = true
+	b.p.IPv4.Src, b.p.IPv4.Dst = src, dst
+	if b.p.IPv4.TTL == 0 {
+		b.p.IPv4.TTL = 64
+	}
+	return b
+}
+
+// WithTCP sets a TCP header (clearing any UDP header).
+func (b *Builder) WithTCP(srcPort, dstPort uint16) *Builder {
+	b.p.HasTCP, b.p.HasUDP = true, false
+	b.p.TCP.SrcPort, b.p.TCP.DstPort = srcPort, dstPort
+	b.p.IPv4.Protocol = ProtoTCP
+	return b
+}
+
+// WithTCPFlags sets the TCP flag bits.
+func (b *Builder) WithTCPFlags(flags uint8) *Builder {
+	b.p.TCP.Flags = flags
+	return b
+}
+
+// WithUDP sets a UDP header (clearing any TCP header).
+func (b *Builder) WithUDP(srcPort, dstPort uint16) *Builder {
+	b.p.HasUDP, b.p.HasTCP = true, false
+	b.p.UDP.SrcPort, b.p.UDP.DstPort = srcPort, dstPort
+	b.p.IPv4.Protocol = ProtoUDP
+	return b
+}
+
+// WithTenant sets the tenant ID metadata directly (for deployments that
+// classify tenants by fields other than VLAN).
+func (b *Builder) WithTenant(id uint32) *Builder {
+	b.p.Meta.TenantID = id
+	return b
+}
+
+// WithWireLen pads the payload so the frame's total on-wire size (headers +
+// payload) equals n bytes; sizes smaller than the header stack leave an
+// empty payload.
+func (b *Builder) WithWireLen(n int) *Builder {
+	b.p.PayloadLen = 0
+	if hdr := b.p.WireLen(); n > hdr {
+		b.p.PayloadLen = n - hdr
+	}
+	return b
+}
+
+// WithPayload sets the payload length directly.
+func (b *Builder) WithPayload(n int) *Builder {
+	b.p.PayloadLen = n
+	return b
+}
+
+// Build returns a copy of the assembled packet.
+func (b *Builder) Build() *Packet {
+	p := b.p
+	return &p
+}

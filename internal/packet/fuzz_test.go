@@ -1,0 +1,36 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hammers the wire parser with arbitrary bytes: it must never
+// panic, and any packet it accepts must re-serialize to something it
+// accepts again with identical header fields (idempotent round-trip).
+func FuzzParse(f *testing.F) {
+	f.Add(Deparse(NewBuilder().WithVLAN(9).WithIPv4(1, 2).WithTCP(80, 443).WithWireLen(96).Build()))
+	f.Add(Deparse(NewBuilder().WithIPv4(3, 4).WithUDP(53, 53).Build()))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		p, err := Parse(wire, false)
+		if err != nil {
+			return
+		}
+		again, err := Parse(Deparse(p), false)
+		if err != nil {
+			t.Fatalf("re-parse of deparsed packet failed: %v", err)
+		}
+		if again.Eth != p.Eth || again.HasVLAN != p.HasVLAN || again.HasIPv4 != p.HasIPv4 ||
+			again.HasTCP != p.HasTCP || again.HasUDP != p.HasUDP {
+			t.Fatalf("round-trip changed header validity: %+v vs %+v", p, again)
+		}
+		if p.HasIPv4 && (again.IPv4.Src != p.IPv4.Src || again.IPv4.Dst != p.IPv4.Dst || again.IPv4.Protocol != p.IPv4.Protocol) {
+			t.Fatalf("round-trip changed IPv4: %+v vs %+v", p.IPv4, again.IPv4)
+		}
+		if p.HasTCP && again.TCP != p.TCP {
+			t.Fatalf("round-trip changed TCP: %+v vs %+v", p.TCP, again.TCP)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package packet models the packets that traverse the SFP data plane.
+//
+// The SFP switch simulator operates on structured header representations
+// (the post-parser view a P4 program sees) rather than on raw bytes, but the
+// package also provides a byte-level parser and deparser so that packets can
+// round-trip through wire format exactly as they would through a Tofino
+// parser/deparser pair. Per-packet metadata carries the two fields the SFP
+// data plane virtualization depends on: the tenant ID and the recirculation
+// pass counter (§IV of the paper).
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType values understood by the parser.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeVLAN uint16 = 0x8100
+)
+
+// IP protocol numbers understood by the parser.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is the outermost header of every packet.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// VLAN is an optional 802.1Q tag. SFP uses the VLAN ID as one of the
+// supported tenant-identification fields (§III assumption 1).
+type VLAN struct {
+	PCP       uint8  // 3-bit priority
+	DEI       bool   // drop-eligible indicator
+	VID       uint16 // 12-bit VLAN / tenant identifier
+	EtherType uint16 // encapsulated ethertype
+}
+
+// IPv4 is the network header. Options are not modeled; IHL is fixed at 5.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src      uint32
+	Dst      uint32
+}
+
+// TCP carries the subset of TCP fields NFs match or rewrite.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8 // FIN/SYN/RST/PSH/ACK/URG in the low 6 bits
+	Window  uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+	TCPUrg uint8 = 1 << 5
+)
+
+// UDP is the UDP header.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Length  uint16
+}
+
+// Metadata is the per-packet scratch state that exists only inside the
+// switch (the P4 "metadata" bus). It is initialized by the parser and
+// consumed by the match-action pipeline.
+type Metadata struct {
+	// TenantID identifies the owning tenant. The SFP data plane prepends a
+	// tenant-ID match to every rule copied from a logical NF (§IV).
+	TenantID uint32
+	// Pass is the recirculation pass counter, starting at 0 for the first
+	// traversal and incremented by the recirculation action.
+	Pass uint8
+	// IngressPort is the port the packet arrived on.
+	IngressPort uint16
+	// EgressPort is the forwarding decision; 0 means undecided.
+	EgressPort uint16
+	// Drop marks the packet for discard at the end of the pipeline.
+	Drop bool
+	// Recirculate requests another pipeline pass (the REC action argument).
+	Recirculate bool
+	// L4Hash caches the flow hash computed by hash tables (e.g. tab_lbhash).
+	L4Hash uint32
+	// ClassID is the traffic class assigned by the traffic classifier NF.
+	ClassID uint16
+}
+
+// Packet is the post-parser representation of one packet. Optional headers
+// use the HasX validity bits, mirroring P4 header validity.
+type Packet struct {
+	Eth     Ethernet
+	HasVLAN bool
+	VLAN    VLAN
+	HasIPv4 bool
+	IPv4    IPv4
+	HasTCP  bool
+	TCP     TCP
+	HasUDP  bool
+	UDP     UDP
+	// PayloadLen is the number of payload bytes after the parsed headers.
+	// The simulator does not materialize payload bytes for performance;
+	// only the length matters to the timing model.
+	PayloadLen int
+	Meta       Metadata
+}
+
+// WireLen returns the total on-wire length in bytes (headers + payload),
+// excluding the 20 bytes of Ethernet preamble and inter-frame gap that the
+// throughput model adds separately.
+func (p *Packet) WireLen() int {
+	n := 14 // Ethernet
+	if p.HasVLAN {
+		n += 4
+	}
+	if p.HasIPv4 {
+		n += 20
+	}
+	if p.HasTCP {
+		n += 20
+	}
+	if p.HasUDP {
+		n += 8
+	}
+	return n + p.PayloadLen
+}
+
+// FiveTuple is the classic flow key.
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+}
+
+// FiveTuple extracts the flow key; ports are zero for non-TCP/UDP packets.
+func (p *Packet) FiveTuple() FiveTuple {
+	ft := FiveTuple{}
+	if p.HasIPv4 {
+		ft.SrcIP = p.IPv4.Src
+		ft.DstIP = p.IPv4.Dst
+		ft.Proto = p.IPv4.Protocol
+	}
+	switch {
+	case p.HasTCP:
+		ft.SrcPort, ft.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.HasUDP:
+		ft.SrcPort, ft.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return ft
+}
+
+// Hash returns a 32-bit hash of the five-tuple using the FNV-1a function,
+// the same hash the load balancer's tab_lbhash stage computes.
+func (ft FiveTuple) Hash() uint32 {
+	var buf [13]byte
+	binary.BigEndian.PutUint32(buf[0:], ft.SrcIP)
+	binary.BigEndian.PutUint32(buf[4:], ft.DstIP)
+	buf[8] = ft.Proto
+	binary.BigEndian.PutUint16(buf[9:], ft.SrcPort)
+	binary.BigEndian.PutUint16(buf[11:], ft.DstPort)
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range buf {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return h
+}
+
+// IPv4Addr packs four octets into the uint32 representation used throughout
+// the simulator.
+func IPv4Addr(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// FormatIPv4 renders a packed address in dotted-quad form.
+func FormatIPv4(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}

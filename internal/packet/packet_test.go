@@ -1,0 +1,201 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDeparseTCP(t *testing.T) {
+	p := NewBuilder().
+		WithEth(MAC{1, 2, 3, 4, 5, 6}, MAC{7, 8, 9, 10, 11, 12}).
+		WithVLAN(42).
+		WithIPv4(IPv4Addr(10, 0, 0, 1), IPv4Addr(192, 168, 1, 2)).
+		WithTCP(12345, 80).
+		WithTCPFlags(TCPSyn | TCPAck).
+		WithPayload(100).
+		Build()
+	wire := Deparse(p)
+	got, err := Parse(wire, true)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Meta.TenantID != 42 {
+		t.Errorf("tenant ID from VLAN = %d, want 42", got.Meta.TenantID)
+	}
+	if !got.HasTCP || got.TCP.SrcPort != 12345 || got.TCP.DstPort != 80 {
+		t.Errorf("TCP header mismatch: %+v", got.TCP)
+	}
+	if got.TCP.Flags != TCPSyn|TCPAck {
+		t.Errorf("TCP flags = %x, want %x", got.TCP.Flags, TCPSyn|TCPAck)
+	}
+	if got.PayloadLen != 100 {
+		t.Errorf("payload = %d, want 100", got.PayloadLen)
+	}
+	if got.WireLen() != len(wire) {
+		t.Errorf("WireLen = %d, wire bytes = %d", got.WireLen(), len(wire))
+	}
+}
+
+func TestParseDeparseUDPNoVLAN(t *testing.T) {
+	p := NewBuilder().
+		WithIPv4(IPv4Addr(172, 16, 0, 9), IPv4Addr(8, 8, 8, 8)).
+		WithUDP(5353, 53).
+		WithWireLen(128).
+		Build()
+	wire := Deparse(p)
+	if len(wire) != 128 {
+		t.Fatalf("wire len = %d, want 128", len(wire))
+	}
+	got, err := Parse(wire, true)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !got.HasUDP || got.HasTCP || got.HasVLAN {
+		t.Errorf("header validity wrong: %+v", got)
+	}
+	if got.UDP.DstPort != 53 {
+		t.Errorf("UDP dst port = %d", got.UDP.DstPort)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	p := NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).Build()
+	wire := Deparse(p)
+	for _, n := range []int{0, 5, 13, 20, 33, 40, 53} {
+		if n >= len(wire) {
+			continue
+		}
+		if _, err := Parse(wire[:n], false); err == nil {
+			t.Errorf("Parse of %d-byte prefix succeeded, want error", n)
+		}
+	}
+}
+
+func TestParseBadChecksum(t *testing.T) {
+	p := NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).Build()
+	wire := Deparse(p)
+	wire[24] ^= 0xff // corrupt an IPv4 header byte
+	if _, err := Parse(wire, true); err == nil {
+		t.Error("Parse accepted corrupted IPv4 header")
+	}
+	if _, err := Parse(wire, false); err != nil {
+		t.Errorf("Parse without verification rejected packet: %v", err)
+	}
+}
+
+func TestParseNonIP(t *testing.T) {
+	wire := make([]byte, 60)
+	wire[12], wire[13] = 0x08, 0x06 // ARP
+	p, err := Parse(wire, true)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.HasIPv4 || p.HasTCP || p.HasUDP {
+		t.Errorf("non-IP packet parsed L3/L4: %+v", p)
+	}
+	if p.PayloadLen != 46 {
+		t.Errorf("payload = %d, want 46", p.PayloadLen)
+	}
+}
+
+// TestRoundTripProperty checks parse(deparse(p)) preserves every field the
+// deparser emits, over randomized packets.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(srcIP, dstIP uint32, sport, dport uint16, vid uint16, tcp bool, payload uint16) bool {
+		b := NewBuilder().WithIPv4(srcIP, dstIP).WithPayload(int(payload % 1400))
+		if vid%2 == 0 {
+			b = b.WithVLAN(vid)
+		}
+		if tcp {
+			b = b.WithTCP(sport, dport).WithTCPFlags(uint8(rng.Intn(64)))
+		} else {
+			b = b.WithUDP(sport, dport)
+		}
+		want := b.Build()
+		got, err := Parse(Deparse(want), true)
+		if err != nil {
+			return false
+		}
+		// The deparser fills derived fields; align them before comparing.
+		want.IPv4.TotalLen = got.IPv4.TotalLen
+		want.IPv4.Checksum = got.IPv4.Checksum
+		if want.HasUDP {
+			want.UDP.Length = got.UDP.Length
+		}
+		return *got == *want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiveTupleHashStable(t *testing.T) {
+	p1 := NewBuilder().WithIPv4(10, 20).WithTCP(1000, 80).Build()
+	p2 := NewBuilder().WithIPv4(10, 20).WithTCP(1000, 80).WithPayload(512).Build()
+	if p1.FiveTuple().Hash() != p2.FiveTuple().Hash() {
+		t.Error("hash depends on payload")
+	}
+	p3 := NewBuilder().WithIPv4(10, 20).WithTCP(1001, 80).Build()
+	if p1.FiveTuple().Hash() == p3.FiveTuple().Hash() {
+		t.Error("hash collision on different src ports (suspicious for FNV)")
+	}
+}
+
+func TestFiveTupleNonIP(t *testing.T) {
+	p := &Packet{}
+	if ft := p.FiveTuple(); ft != (FiveTuple{}) {
+		t.Errorf("non-IP five-tuple = %+v, want zero", ft)
+	}
+}
+
+func TestWireLenAccounting(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Packet
+		want int
+	}{
+		{"eth only", &Packet{}, 14},
+		{"eth+ipv4", NewBuilder().WithIPv4(1, 2).Build(), 34},
+		{"eth+vlan+ipv4+tcp", NewBuilder().WithVLAN(5).WithIPv4(1, 2).WithTCP(1, 2).Build(), 58},
+		{"eth+ipv4+udp", NewBuilder().WithIPv4(1, 2).WithUDP(1, 2).Build(), 42},
+	}
+	for _, c := range cases {
+		if got := c.p.WireLen(); got != c.want {
+			t.Errorf("%s: WireLen = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC.String = %q", got)
+	}
+}
+
+func TestFormatIPv4(t *testing.T) {
+	if got := FormatIPv4(IPv4Addr(10, 1, 2, 3)); got != "10.1.2.3" {
+		t.Errorf("FormatIPv4 = %q", got)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	wire := Deparse(NewBuilder().WithVLAN(7).WithIPv4(1, 2).WithTCP(100, 200).WithWireLen(256).Build())
+	b.SetBytes(int64(len(wire)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(wire, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeparse(b *testing.B) {
+	p := NewBuilder().WithVLAN(7).WithIPv4(1, 2).WithTCP(100, 200).WithWireLen(256).Build()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Deparse(p)
+	}
+}

@@ -1,0 +1,188 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Parsing errors.
+var (
+	ErrTruncated   = errors.New("packet: truncated header")
+	ErrBadIHL      = errors.New("packet: IPv4 IHL != 5 not supported")
+	ErrBadChecksum = errors.New("packet: bad IPv4 header checksum")
+)
+
+// Parse decodes a wire-format packet into the structured representation,
+// mirroring the fixed parse graph of the SFP switch program:
+//
+//	ethernet -> [vlan] -> ipv4 -> {tcp | udp | other}
+//
+// Unknown ethertypes stop parsing after Ethernet (the payload length then
+// covers everything after the last parsed header). The IPv4 checksum is
+// verified when verifyChecksum is true.
+func Parse(wire []byte, verifyChecksum bool) (*Packet, error) {
+	p := &Packet{}
+	if len(wire) < 14 {
+		return nil, fmt.Errorf("%w: ethernet needs 14 bytes, have %d", ErrTruncated, len(wire))
+	}
+	copy(p.Eth.Dst[:], wire[0:6])
+	copy(p.Eth.Src[:], wire[6:12])
+	p.Eth.EtherType = binary.BigEndian.Uint16(wire[12:14])
+	off := 14
+	etherType := p.Eth.EtherType
+
+	if etherType == EtherTypeVLAN {
+		if len(wire) < off+4 {
+			return nil, fmt.Errorf("%w: vlan tag", ErrTruncated)
+		}
+		tci := binary.BigEndian.Uint16(wire[off : off+2])
+		p.HasVLAN = true
+		p.VLAN.PCP = uint8(tci >> 13)
+		p.VLAN.DEI = tci&0x1000 != 0
+		p.VLAN.VID = tci & 0x0fff
+		p.VLAN.EtherType = binary.BigEndian.Uint16(wire[off+2 : off+4])
+		etherType = p.VLAN.EtherType
+		off += 4
+		// Tenant identification by VLAN ID (§III assumption 1).
+		p.Meta.TenantID = uint32(p.VLAN.VID)
+	}
+
+	if etherType != EtherTypeIPv4 {
+		p.PayloadLen = len(wire) - off
+		return p, nil
+	}
+	if len(wire) < off+20 {
+		return nil, fmt.Errorf("%w: ipv4", ErrTruncated)
+	}
+	ihl := wire[off] & 0x0f
+	if version := wire[off] >> 4; version != 4 {
+		return nil, fmt.Errorf("packet: unsupported IP version %d", version)
+	}
+	if ihl != 5 {
+		return nil, ErrBadIHL
+	}
+	p.HasIPv4 = true
+	p.IPv4.TOS = wire[off+1]
+	p.IPv4.TotalLen = binary.BigEndian.Uint16(wire[off+2 : off+4])
+	p.IPv4.ID = binary.BigEndian.Uint16(wire[off+4 : off+6])
+	fo := binary.BigEndian.Uint16(wire[off+6 : off+8])
+	p.IPv4.Flags = uint8(fo >> 13)
+	p.IPv4.FragOff = fo & 0x1fff
+	p.IPv4.TTL = wire[off+8]
+	p.IPv4.Protocol = wire[off+9]
+	p.IPv4.Checksum = binary.BigEndian.Uint16(wire[off+10 : off+12])
+	p.IPv4.Src = binary.BigEndian.Uint32(wire[off+12 : off+16])
+	p.IPv4.Dst = binary.BigEndian.Uint32(wire[off+16 : off+20])
+	if verifyChecksum {
+		if got := ipv4Checksum(wire[off : off+20]); got != 0 {
+			return nil, ErrBadChecksum
+		}
+	}
+	off += 20
+
+	switch p.IPv4.Protocol {
+	case ProtoTCP:
+		if len(wire) < off+20 {
+			return nil, fmt.Errorf("%w: tcp", ErrTruncated)
+		}
+		p.HasTCP = true
+		p.TCP.SrcPort = binary.BigEndian.Uint16(wire[off : off+2])
+		p.TCP.DstPort = binary.BigEndian.Uint16(wire[off+2 : off+4])
+		p.TCP.Seq = binary.BigEndian.Uint32(wire[off+4 : off+8])
+		p.TCP.Ack = binary.BigEndian.Uint32(wire[off+8 : off+12])
+		p.TCP.Flags = wire[off+13] & 0x3f
+		p.TCP.Window = binary.BigEndian.Uint16(wire[off+14 : off+16])
+		off += 20
+	case ProtoUDP:
+		if len(wire) < off+8 {
+			return nil, fmt.Errorf("%w: udp", ErrTruncated)
+		}
+		p.HasUDP = true
+		p.UDP.SrcPort = binary.BigEndian.Uint16(wire[off : off+2])
+		p.UDP.DstPort = binary.BigEndian.Uint16(wire[off+2 : off+4])
+		p.UDP.Length = binary.BigEndian.Uint16(wire[off+4 : off+6])
+		off += 8
+	}
+	p.PayloadLen = len(wire) - off
+	return p, nil
+}
+
+// Deparse serializes the packet back to wire format, recomputing the IPv4
+// total length and header checksum, exactly as the switch deparser does.
+// Payload bytes are emitted as zeros (the simulator does not carry payload
+// contents, only lengths).
+func Deparse(p *Packet) []byte {
+	wire := make([]byte, 0, p.WireLen())
+	wire = append(wire, p.Eth.Dst[:]...)
+	wire = append(wire, p.Eth.Src[:]...)
+	wire = binary.BigEndian.AppendUint16(wire, p.Eth.EtherType)
+	if p.HasVLAN {
+		tci := uint16(p.VLAN.PCP)<<13 | p.VLAN.VID&0x0fff
+		if p.VLAN.DEI {
+			tci |= 0x1000
+		}
+		wire = binary.BigEndian.AppendUint16(wire, tci)
+		wire = binary.BigEndian.AppendUint16(wire, p.VLAN.EtherType)
+	}
+	if p.HasIPv4 {
+		l4 := 0
+		switch {
+		case p.HasTCP:
+			l4 = 20
+		case p.HasUDP:
+			l4 = 8
+		}
+		total := uint16(20 + l4 + p.PayloadLen)
+		hdr := make([]byte, 20)
+		hdr[0] = 0x45
+		hdr[1] = p.IPv4.TOS
+		binary.BigEndian.PutUint16(hdr[2:], total)
+		binary.BigEndian.PutUint16(hdr[4:], p.IPv4.ID)
+		binary.BigEndian.PutUint16(hdr[6:], uint16(p.IPv4.Flags)<<13|p.IPv4.FragOff&0x1fff)
+		hdr[8] = p.IPv4.TTL
+		hdr[9] = p.IPv4.Protocol
+		binary.BigEndian.PutUint32(hdr[12:], p.IPv4.Src)
+		binary.BigEndian.PutUint32(hdr[16:], p.IPv4.Dst)
+		binary.BigEndian.PutUint16(hdr[10:], ipv4Checksum(hdr))
+		wire = append(wire, hdr...)
+	}
+	switch {
+	case p.HasTCP:
+		tcp := make([]byte, 20)
+		binary.BigEndian.PutUint16(tcp[0:], p.TCP.SrcPort)
+		binary.BigEndian.PutUint16(tcp[2:], p.TCP.DstPort)
+		binary.BigEndian.PutUint32(tcp[4:], p.TCP.Seq)
+		binary.BigEndian.PutUint32(tcp[8:], p.TCP.Ack)
+		tcp[12] = 5 << 4 // data offset
+		tcp[13] = p.TCP.Flags
+		binary.BigEndian.PutUint16(tcp[14:], p.TCP.Window)
+		wire = append(wire, tcp...)
+	case p.HasUDP:
+		udp := make([]byte, 8)
+		binary.BigEndian.PutUint16(udp[0:], p.UDP.SrcPort)
+		binary.BigEndian.PutUint16(udp[2:], p.UDP.DstPort)
+		length := p.UDP.Length
+		if length == 0 {
+			length = uint16(8 + p.PayloadLen)
+		}
+		binary.BigEndian.PutUint16(udp[4:], length)
+		wire = append(wire, udp...)
+	}
+	wire = append(wire, make([]byte, p.PayloadLen)...)
+	return wire
+}
+
+// ipv4Checksum computes the ones-complement checksum over a 20-byte header.
+// Computing it over a header whose checksum field is already filled yields 0
+// iff the checksum is valid.
+func ipv4Checksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

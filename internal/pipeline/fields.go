@@ -1,0 +1,218 @@
+// Package pipeline models a programmable switch packet-processing pipeline
+// in the style of a Tofino-class RMT chip: a fixed sequence of physical
+// stages, each holding match-action tables backed by block-granular memory,
+// with per-packet metadata, stateful registers, and recirculation.
+//
+// The SFP data plane (internal/vswitch) installs physical NFs as tables on
+// these stages and copies tenant rules into them; the control-plane model
+// (internal/model) constrains placements by the same stage/block/entry
+// resources this package accounts for.
+package pipeline
+
+import (
+	"fmt"
+
+	"sfp/internal/packet"
+)
+
+// FieldID names a matchable header or metadata field, the post-parser view
+// a P4 match key refers to.
+type FieldID int
+
+// Matchable fields.
+const (
+	FieldTenantID FieldID = iota // metadata: tenant identifier
+	FieldPass                    // metadata: recirculation pass counter
+	FieldEtherType
+	FieldVLANID
+	FieldIPv4Src
+	FieldIPv4Dst
+	FieldIPProto
+	FieldSrcPort
+	FieldDstPort
+	FieldTCPFlags
+	FieldClassID // metadata: class assigned by the traffic classifier
+	FieldL4Hash  // metadata: flow hash computed by a hash action
+	FieldIngressPort
+	numFields
+)
+
+var fieldNames = [...]string{
+	FieldTenantID:    "tenant_id",
+	FieldPass:        "pass",
+	FieldEtherType:   "ether_type",
+	FieldVLANID:      "vlan_id",
+	FieldIPv4Src:     "ipv4_src",
+	FieldIPv4Dst:     "ipv4_dst",
+	FieldIPProto:     "ip_proto",
+	FieldSrcPort:     "l4_src_port",
+	FieldDstPort:     "l4_dst_port",
+	FieldTCPFlags:    "tcp_flags",
+	FieldClassID:     "class_id",
+	FieldL4Hash:      "l4_hash",
+	FieldIngressPort: "ingress_port",
+}
+
+// String returns the P4-style field name.
+func (f FieldID) String() string {
+	if f >= 0 && int(f) < len(fieldNames) {
+		return fieldNames[f]
+	}
+	return fmt.Sprintf("field(%d)", int(f))
+}
+
+// Bits returns the field width in bits, used for rule-width accounting
+// (the constant b in the placement model).
+func (f FieldID) Bits() int {
+	switch f {
+	case FieldIPv4Src, FieldIPv4Dst, FieldTenantID, FieldL4Hash:
+		return 32
+	case FieldEtherType, FieldSrcPort, FieldDstPort, FieldClassID, FieldIngressPort:
+		return 16
+	case FieldVLANID:
+		return 12
+	case FieldIPProto, FieldTCPFlags, FieldPass:
+		return 8
+	default:
+		return 32
+	}
+}
+
+// Extract reads the field's current value from a packet. Invalid headers
+// read as zero, matching P4 semantics for reads of invalid headers under
+// the simulator's initialize-to-zero convention.
+func Extract(p *packet.Packet, f FieldID) uint64 {
+	switch f {
+	case FieldTenantID:
+		return uint64(p.Meta.TenantID)
+	case FieldPass:
+		return uint64(p.Meta.Pass)
+	case FieldEtherType:
+		return uint64(p.Eth.EtherType)
+	case FieldVLANID:
+		if p.HasVLAN {
+			return uint64(p.VLAN.VID)
+		}
+	case FieldIPv4Src:
+		if p.HasIPv4 {
+			return uint64(p.IPv4.Src)
+		}
+	case FieldIPv4Dst:
+		if p.HasIPv4 {
+			return uint64(p.IPv4.Dst)
+		}
+	case FieldIPProto:
+		if p.HasIPv4 {
+			return uint64(p.IPv4.Protocol)
+		}
+	case FieldSrcPort:
+		if p.HasTCP {
+			return uint64(p.TCP.SrcPort)
+		}
+		if p.HasUDP {
+			return uint64(p.UDP.SrcPort)
+		}
+	case FieldDstPort:
+		if p.HasTCP {
+			return uint64(p.TCP.DstPort)
+		}
+		if p.HasUDP {
+			return uint64(p.UDP.DstPort)
+		}
+	case FieldTCPFlags:
+		if p.HasTCP {
+			return uint64(p.TCP.Flags)
+		}
+	case FieldClassID:
+		return uint64(p.Meta.ClassID)
+	case FieldL4Hash:
+		return uint64(p.Meta.L4Hash)
+	case FieldIngressPort:
+		return uint64(p.Meta.IngressPort)
+	}
+	return 0
+}
+
+// MatchKind is the lookup discipline of one match key field.
+type MatchKind int
+
+// Match kinds supported by the MAU model.
+const (
+	MatchExact MatchKind = iota
+	MatchTernary
+	MatchLPM
+	MatchRange
+)
+
+// String names the kind as in a P4 table declaration.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchTernary:
+		return "ternary"
+	case MatchLPM:
+		return "lpm"
+	case MatchRange:
+		return "range"
+	}
+	return fmt.Sprintf("matchkind(%d)", int(k))
+}
+
+// Key is one field of a table's match specification.
+type Key struct {
+	Field FieldID
+	Kind  MatchKind
+}
+
+// Match is one field of a rule's match value, interpreted per the table's
+// corresponding Key kind:
+//
+//   - exact:   Value
+//   - ternary: Value/Mask (bits outside Mask are wildcards)
+//   - lpm:     Value with PrefixLen leading bits significant (of Field.Bits())
+//   - range:   [Lo, Hi] inclusive
+type Match struct {
+	Value     uint64
+	Mask      uint64
+	PrefixLen int
+	Lo, Hi    uint64
+}
+
+// Wildcard returns a ternary match-anything value.
+func Wildcard() Match { return Match{Mask: 0} }
+
+// Eq returns an exact (or fully-masked ternary) match on v.
+func Eq(v uint64) Match { return Match{Value: v, Mask: ^uint64(0)} }
+
+// Masked returns a ternary match of v under mask m.
+func Masked(v, m uint64) Match { return Match{Value: v & m, Mask: m} }
+
+// Prefix returns an LPM match on the top plen bits of v.
+func Prefix(v uint64, plen int) Match { return Match{Value: v, PrefixLen: plen} }
+
+// Between returns a range match on [lo, hi].
+func Between(lo, hi uint64) Match { return Match{Lo: lo, Hi: hi} }
+
+// matches reports whether value v satisfies this match under kind k for a
+// field of the given bit width.
+func (m Match) matches(v uint64, k MatchKind, bits int) bool {
+	switch k {
+	case MatchExact:
+		return v == m.Value
+	case MatchTernary:
+		return v&m.Mask == m.Value&m.Mask
+	case MatchLPM:
+		if m.PrefixLen <= 0 {
+			return true
+		}
+		if m.PrefixLen >= bits {
+			return v == m.Value
+		}
+		shift := uint(bits - m.PrefixLen)
+		return v>>shift == m.Value>>shift
+	case MatchRange:
+		return v >= m.Lo && v <= m.Hi
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"sfp/internal/packet"
+)
+
+// Config fixes the physical resources and timing of the switch chip. The
+// defaults mirror the paper's evaluation configuration (§VI-C) and the
+// Tofino-calibrated latency constants from DESIGN.md §5.
+type Config struct {
+	// Stages is S, the number of physical pipeline stages.
+	Stages int
+	// BlocksPerStage is B, memory blocks available in each stage.
+	BlocksPerStage int
+	// EntriesPerBlock is E/b: rule entries one block holds.
+	EntriesPerBlock int
+	// CapacityGbps is C, the backplane processing capacity shared by
+	// inbound and recirculated traffic.
+	CapacityGbps float64
+	// MaxPasses bounds recirculation (1 = no recirculation).
+	MaxPasses int
+
+	// Latency model (nanoseconds). The paper's measurements (Fig. 5) show
+	// in-switch latency tracks the processing complexity of the SFC — the
+	// number of match-action tables that actually apply — rather than raw
+	// stages traversed: three extra full passes cost only ≈35 ns. The
+	// model therefore charges a fixed parser/deparser/serialization cost,
+	// a per-applied-table cost, a (tiny) per-stage traversal cost, and a
+	// per-recirculation cost.
+	ParserNs   float64
+	PerStageNs float64
+	PerTableNs float64
+	DeparserNs float64
+	RecircNs   float64
+}
+
+// DefaultConfig returns the evaluation configuration of §VI-C: 8 stages,
+// 20 blocks per stage, 1000 entries per block, 400 Gbps backplane. The
+// latency constants are calibrated to Fig. 5: a 4-NF SFC costs
+// 245 + 4×24 = 341 ns, and three recirculations add 3×11.7 ≈ 35 ns.
+func DefaultConfig() Config {
+	return Config{
+		Stages:          8,
+		BlocksPerStage:  20,
+		EntriesPerBlock: 1000,
+		CapacityGbps:    400,
+		MaxPasses:       4,
+		ParserNs:        110,
+		PerStageNs:      0,
+		PerTableNs:      24,
+		DeparserNs:      135,
+		RecircNs:        11.7,
+	}
+}
+
+// TofinoConfig returns a 12-stage configuration matching the physical stage
+// count the paper cites for Tofino (§II-A).
+func TofinoConfig() Config {
+	c := DefaultConfig()
+	c.Stages = 12
+	c.CapacityGbps = 3200
+	return c
+}
+
+// Stage is one physical pipeline stage: a set of tables sharing the stage's
+// memory blocks plus a register file.
+type Stage struct {
+	Index  int
+	Tables []*Table
+	Regs   *RegisterFile
+
+	entriesPerBlock int
+	blockBudget     int
+}
+
+// BlocksUsed returns the blocks consumed under block-granular allocation:
+// each table independently rounds its reserved capacity up to whole blocks
+// (the ceil in the model's memory constraint).
+func (s *Stage) BlocksUsed() int {
+	used := 0
+	for _, t := range s.Tables {
+		used += (t.Capacity + s.entriesPerBlock - 1) / s.entriesPerBlock
+	}
+	return used
+}
+
+// EntriesUsed returns the total installed rule entries across tables.
+func (s *Stage) EntriesUsed() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += t.Used()
+	}
+	return n
+}
+
+// EntriesReserved returns the total reserved capacity across tables.
+func (s *Stage) EntriesReserved() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += t.Capacity
+	}
+	return n
+}
+
+// AddTable places a table on the stage, enforcing the block budget.
+func (s *Stage) AddTable(t *Table) error {
+	need := (t.Capacity + s.entriesPerBlock - 1) / s.entriesPerBlock
+	if s.BlocksUsed()+need > s.blockBudget {
+		return fmt.Errorf("stage %d: table %s needs %d blocks, %d of %d used",
+			s.Index, t.Name, need, s.BlocksUsed(), s.blockBudget)
+	}
+	s.Tables = append(s.Tables, t)
+	return nil
+}
+
+// GrowTable raises a resident table's reserved capacity, taking additional
+// whole blocks from the stage budget (runtime update may need room for an
+// arriving tenant's rules in an existing physical NF).
+func (s *Stage) GrowTable(name string, newCapacity int) error {
+	t := s.Table(name)
+	if t == nil {
+		return fmt.Errorf("stage %d: no table %s", s.Index, name)
+	}
+	if newCapacity <= t.Capacity {
+		return nil
+	}
+	oldBlocks := (t.Capacity + s.entriesPerBlock - 1) / s.entriesPerBlock
+	newBlocks := (newCapacity + s.entriesPerBlock - 1) / s.entriesPerBlock
+	if s.BlocksUsed()-oldBlocks+newBlocks > s.blockBudget {
+		return fmt.Errorf("stage %d: growing %s to %d entries needs %d blocks, budget %d",
+			s.Index, name, newCapacity, newBlocks, s.blockBudget)
+	}
+	t.Capacity = newCapacity
+	return nil
+}
+
+// RemoveTable removes a table by name (full-reconfiguration path).
+func (s *Stage) RemoveTable(name string) bool {
+	for i, t := range s.Tables {
+		if t.Name == name {
+			s.Tables = append(s.Tables[:i], s.Tables[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Table returns the named table, or nil.
+func (s *Stage) Table(name string) *Table {
+	for _, t := range s.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Pipeline is the full switch data plane.
+type Pipeline struct {
+	Cfg    Config
+	Stages []*Stage
+
+	// Processed and Recirculated count packets for observability.
+	Processed    uint64
+	Recirculated uint64
+}
+
+// New builds an empty pipeline from the configuration.
+func New(cfg Config) *Pipeline {
+	if cfg.Stages <= 0 {
+		panic("pipeline: config needs at least one stage")
+	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = 1
+	}
+	p := &Pipeline{Cfg: cfg}
+	for i := 0; i < cfg.Stages; i++ {
+		p.Stages = append(p.Stages, &Stage{
+			Index:           i,
+			Regs:            NewRegisterFile(),
+			entriesPerBlock: cfg.EntriesPerBlock,
+			blockBudget:     cfg.BlocksPerStage,
+		})
+	}
+	return p
+}
+
+// Result reports what happened to one packet.
+type Result struct {
+	// LatencyNs is the modeled in-switch processing latency.
+	LatencyNs float64
+	// Passes is the number of pipeline traversals (1 = no recirculation).
+	Passes int
+	// Dropped reports a drop decision.
+	Dropped bool
+	// EgressPort is the final forwarding decision (0 if none).
+	EgressPort uint16
+	// TablesApplied counts tables whose lookup matched a rule.
+	TablesApplied int
+}
+
+// Process runs one packet through the pipeline, honoring recirculation
+// requests up to Cfg.MaxPasses, and returns the modeled result. nowNs is
+// the packet's arrival timestamp for time-dependent actions.
+func (pl *Pipeline) Process(p *packet.Packet, nowNs float64) Result {
+	res := Result{LatencyNs: pl.Cfg.ParserNs}
+	pl.Processed++
+	for pass := 0; pass < pl.Cfg.MaxPasses; pass++ {
+		res.Passes++
+		p.Meta.Recirculate = false
+		for _, st := range pl.Stages {
+			ctx := &Context{StageIndex: st.Index, Regs: st.Regs, NowNs: nowNs + res.LatencyNs}
+			for _, t := range st.Tables {
+				if r := t.Apply(ctx, p); r != nil {
+					res.TablesApplied++
+					res.LatencyNs += pl.Cfg.PerTableNs
+				}
+			}
+			res.LatencyNs += pl.Cfg.PerStageNs
+			if p.Meta.Drop {
+				res.Dropped = true
+				res.LatencyNs += pl.Cfg.DeparserNs
+				return res
+			}
+		}
+		if !p.Meta.Recirculate {
+			break
+		}
+		// Last-stage REC action fired: recirculate and bump the pass
+		// counter (§IV, "increase the pass by one").
+		p.Meta.Pass++
+		pl.Recirculated++
+		res.LatencyNs += pl.Cfg.RecircNs
+	}
+	res.LatencyNs += pl.Cfg.DeparserNs
+	res.EgressPort = p.Meta.EgressPort
+	res.Dropped = p.Meta.Drop
+	return res
+}
+
+// BlocksUsed sums block usage across stages.
+func (pl *Pipeline) BlocksUsed() int {
+	n := 0
+	for _, s := range pl.Stages {
+		n += s.BlocksUsed()
+	}
+	return n
+}
+
+// EntriesUsed sums installed entries across stages.
+func (pl *Pipeline) EntriesUsed() int {
+	n := 0
+	for _, s := range pl.Stages {
+		n += s.EntriesUsed()
+	}
+	return n
+}
+
+// BlockUtilization returns mean blocks used per stage (the paper's Fig. 6
+// "block utilization" axis, 0..B).
+func (pl *Pipeline) BlockUtilization() float64 {
+	if len(pl.Stages) == 0 {
+		return 0
+	}
+	return float64(pl.BlocksUsed()) / float64(len(pl.Stages))
+}
+
+// LineRatePPS converts a port speed and wire length to packets per second,
+// accounting for the 20 bytes of preamble + inter-frame gap per frame.
+func LineRatePPS(gbps float64, wireBytes int) float64 {
+	return gbps * 1e9 / (float64(wireBytes+20) * 8)
+}

@@ -1,0 +1,68 @@
+package pipeline
+
+import "fmt"
+
+// RegisterFile models the stateful register arrays of one stage's MAU.
+// Registers survive across packets (their lifetime is longer than any
+// individual packet), which is what distinguishes stateful NFs such as rate
+// limiters and monitors from purely rule-driven ones.
+type RegisterFile struct {
+	arrays map[string][]int64
+}
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile {
+	return &RegisterFile{arrays: make(map[string][]int64)}
+}
+
+// Alloc reserves a named register array of the given size. Re-allocating an
+// existing name is an error — register layout is fixed at compile time on
+// real hardware.
+func (rf *RegisterFile) Alloc(name string, size int) error {
+	if _, ok := rf.arrays[name]; ok {
+		return fmt.Errorf("register %q already allocated", name)
+	}
+	if size <= 0 {
+		return fmt.Errorf("register %q: size %d must be positive", name, size)
+	}
+	rf.arrays[name] = make([]int64, size)
+	return nil
+}
+
+// Free releases a named register array (used when a physical NF is removed
+// during full reconfiguration).
+func (rf *RegisterFile) Free(name string) {
+	delete(rf.arrays, name)
+}
+
+// Read returns the value at arrays[name][idx]; out-of-range reads return 0,
+// matching hardware's wrap-free saturating behavior in the simulator.
+func (rf *RegisterFile) Read(name string, idx int) int64 {
+	a := rf.arrays[name]
+	if idx < 0 || idx >= len(a) {
+		return 0
+	}
+	return a[idx]
+}
+
+// Write stores v at arrays[name][idx]; out-of-range writes are dropped.
+func (rf *RegisterFile) Write(name string, idx int, v int64) {
+	a := rf.arrays[name]
+	if idx < 0 || idx >= len(a) {
+		return
+	}
+	a[idx] = v
+}
+
+// Add atomically adds delta at arrays[name][idx] and returns the new value.
+func (rf *RegisterFile) Add(name string, idx int, delta int64) int64 {
+	a := rf.arrays[name]
+	if idx < 0 || idx >= len(a) {
+		return 0
+	}
+	a[idx] += delta
+	return a[idx]
+}
+
+// Size returns the length of the named array (0 if absent).
+func (rf *RegisterFile) Size(name string) int { return len(rf.arrays[name]) }

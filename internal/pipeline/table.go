@@ -1,0 +1,252 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"sfp/internal/packet"
+)
+
+// ActionFunc is the body of a P4 action: it mutates the packet (headers and
+// metadata) using the rule's action parameters. The context exposes the
+// stage's stateful registers.
+type ActionFunc func(ctx *Context, p *packet.Packet, params []uint64)
+
+// Context is passed to actions, giving access to pipeline state the action
+// may read or update.
+type Context struct {
+	// StageIndex is the 0-based physical stage executing the action.
+	StageIndex int
+	// Regs is the register file of the executing stage.
+	Regs *RegisterFile
+	// NowNs is the simulated timestamp of the packet, for time-dependent
+	// actions such as token-bucket rate limiters.
+	NowNs float64
+}
+
+// Rule is one entry of a match-action table. Matches align positionally
+// with the table's key specification.
+type Rule struct {
+	// Priority orders ternary/range lookups; higher wins. Exact-only tables
+	// ignore priority.
+	Priority int
+	Matches  []Match
+	// Action names an action registered on the table.
+	Action string
+	// Params are the action data (e.g. the next-hop port or rewrite value).
+	Params []uint64
+	// Rec is the paper's REC argument: when the rule fires in the last
+	// stage of a pass, the packet is recirculated and its pass counter
+	// incremented (§IV, "NFs in the last stage is specially crafted").
+	Rec bool
+	// Tenant tags the rule's owner (0 = infrastructure rule), so that a
+	// tenant's rules can be bulk-deleted on departure.
+	Tenant uint32
+}
+
+// Table is a match-action table resident in one stage.
+type Table struct {
+	Name string
+	Keys []Key
+	// Capacity is the number of entries reserved for this table. The
+	// physical NF reserves capacity when installed; rule insertion beyond
+	// capacity fails, mirroring SRAM/TCAM exhaustion.
+	Capacity int
+
+	// DefaultAction runs when no rule matches ("No-Ops" for physical NFs).
+	DefaultAction string
+	DefaultParams []uint64
+
+	actions map[string]ActionFunc
+	rules   []*Rule
+	sorted  bool
+
+	// exactIdx accelerates lookups for all-exact key specs.
+	exactIdx map[string]*Rule
+
+	// Hits and Misses count lookups for observability.
+	Hits, Misses uint64
+}
+
+// NewTable creates a table with the given key specification and entry
+// capacity.
+func NewTable(name string, keys []Key, capacity int) *Table {
+	return &Table{
+		Name:     name,
+		Keys:     keys,
+		Capacity: capacity,
+		actions:  make(map[string]ActionFunc),
+	}
+}
+
+// RegisterAction binds an action name usable by rules of this table.
+func (t *Table) RegisterAction(name string, fn ActionFunc) {
+	t.actions[name] = fn
+}
+
+// SetDefault sets the default (miss) action.
+func (t *Table) SetDefault(action string, params ...uint64) {
+	t.DefaultAction = action
+	t.DefaultParams = params
+}
+
+// allExact reports whether every key is an exact match, enabling the map
+// index fast path.
+func (t *Table) allExact() bool {
+	for _, k := range t.Keys {
+		if k.Kind != MatchExact {
+			return false
+		}
+	}
+	return len(t.Keys) > 0
+}
+
+func (t *Table) exactKeyOf(vals []uint64) string {
+	b := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		for s := 56; s >= 0; s -= 8 {
+			b = append(b, byte(v>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// Insert adds a rule. It fails if the table is at capacity, if the rule's
+// match arity differs from the key spec, or if the action is unregistered.
+func (t *Table) Insert(r *Rule) error {
+	if len(r.Matches) != len(t.Keys) {
+		return fmt.Errorf("table %s: rule has %d matches, key spec has %d", t.Name, len(r.Matches), len(t.Keys))
+	}
+	if _, ok := t.actions[r.Action]; !ok {
+		return fmt.Errorf("table %s: unknown action %q", t.Name, r.Action)
+	}
+	if len(t.rules) >= t.Capacity {
+		return fmt.Errorf("table %s: capacity %d exhausted", t.Name, t.Capacity)
+	}
+	t.rules = append(t.rules, r)
+	t.sorted = false
+	if t.allExact() {
+		if t.exactIdx == nil {
+			t.exactIdx = make(map[string]*Rule)
+		}
+		vals := make([]uint64, len(r.Matches))
+		for i, m := range r.Matches {
+			vals[i] = m.Value
+		}
+		t.exactIdx[t.exactKeyOf(vals)] = r
+	}
+	return nil
+}
+
+// DeleteTenant removes every rule owned by the tenant and returns how many
+// entries were freed.
+func (t *Table) DeleteTenant(tenant uint32) int {
+	kept := t.rules[:0]
+	freed := 0
+	for _, r := range t.rules {
+		if r.Tenant == tenant {
+			freed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	if freed > 0 && t.exactIdx != nil {
+		t.exactIdx = make(map[string]*Rule)
+		for _, r := range t.rules {
+			vals := make([]uint64, len(r.Matches))
+			for i, m := range r.Matches {
+				vals[i] = m.Value
+			}
+			t.exactIdx[t.exactKeyOf(vals)] = r
+		}
+	}
+	return freed
+}
+
+// Used returns the number of installed entries.
+func (t *Table) Used() int { return len(t.rules) }
+
+// RuleWidthBits returns the total match-key width of one entry — the
+// constant b in the placement model's memory equation.
+func (t *Table) RuleWidthBits() int {
+	w := 0
+	for _, k := range t.Keys {
+		w += k.Field.Bits()
+	}
+	return w
+}
+
+// Lookup finds the highest-priority matching rule, or nil on miss.
+func (t *Table) Lookup(p *packet.Packet) *Rule {
+	if t.exactIdx != nil && t.allExact() {
+		vals := make([]uint64, len(t.Keys))
+		for i, k := range t.Keys {
+			vals[i] = Extract(p, k.Field)
+		}
+		if r, ok := t.exactIdx[t.exactKeyOf(vals)]; ok {
+			t.Hits++
+			return r
+		}
+		t.Misses++
+		return nil
+	}
+	if !t.sorted {
+		// LPM tables order by prefix length (longest first), others by
+		// priority. A stable sort keeps insertion order among ties.
+		sort.SliceStable(t.rules, func(i, j int) bool {
+			a, b := t.rules[i], t.rules[j]
+			if a.Priority != b.Priority {
+				return a.Priority > b.Priority
+			}
+			return maxPrefix(a) > maxPrefix(b)
+		})
+		t.sorted = true
+	}
+	for _, r := range t.rules {
+		ok := true
+		for i, k := range t.Keys {
+			if !r.Matches[i].matches(Extract(p, k.Field), k.Kind, k.Field.Bits()) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			t.Hits++
+			return r
+		}
+	}
+	t.Misses++
+	return nil
+}
+
+func maxPrefix(r *Rule) int {
+	m := 0
+	for _, match := range r.Matches {
+		if match.PrefixLen > m {
+			m = match.PrefixLen
+		}
+	}
+	return m
+}
+
+// Apply executes a lookup followed by the matched (or default) action.
+// It returns the matched rule (nil on default) so callers can observe REC.
+func (t *Table) Apply(ctx *Context, p *packet.Packet) *Rule {
+	r := t.Lookup(p)
+	if r != nil {
+		if fn := t.actions[r.Action]; fn != nil {
+			fn(ctx, p, r.Params)
+		}
+		if r.Rec {
+			p.Meta.Recirculate = true
+		}
+		return r
+	}
+	if t.DefaultAction != "" {
+		if fn := t.actions[t.DefaultAction]; fn != nil {
+			fn(ctx, p, t.DefaultParams)
+		}
+	}
+	return nil
+}

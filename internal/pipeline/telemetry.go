@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TableStats is one table's observability snapshot.
+type TableStats struct {
+	Stage    int
+	Name     string
+	Capacity int
+	Used     int
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRate returns hits / lookups (0 with no lookups).
+func (t TableStats) HitRate() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}
+
+// StageStats is one stage's resource snapshot.
+type StageStats struct {
+	Stage           int
+	BlocksUsed      int
+	BlockBudget     int
+	EntriesUsed     int
+	EntriesReserved int
+	Tables          []TableStats
+}
+
+// Telemetry is a full-pipeline snapshot.
+type Telemetry struct {
+	Processed    uint64
+	Recirculated uint64
+	Stages       []StageStats
+}
+
+// Snapshot collects per-stage and per-table counters for operators (the
+// observability surface a real switch exposes via its driver).
+func (pl *Pipeline) Snapshot() Telemetry {
+	t := Telemetry{Processed: pl.Processed, Recirculated: pl.Recirculated}
+	for _, st := range pl.Stages {
+		ss := StageStats{
+			Stage:           st.Index,
+			BlocksUsed:      st.BlocksUsed(),
+			BlockBudget:     pl.Cfg.BlocksPerStage,
+			EntriesUsed:     st.EntriesUsed(),
+			EntriesReserved: st.EntriesReserved(),
+		}
+		for _, tbl := range st.Tables {
+			ss.Tables = append(ss.Tables, TableStats{
+				Stage:    st.Index,
+				Name:     tbl.Name,
+				Capacity: tbl.Capacity,
+				Used:     tbl.Used(),
+				Hits:     tbl.Hits,
+				Misses:   tbl.Misses,
+			})
+		}
+		sort.Slice(ss.Tables, func(i, j int) bool { return ss.Tables[i].Name < ss.Tables[j].Name })
+		t.Stages = append(t.Stages, ss)
+	}
+	return t
+}
+
+// WriteTo renders the snapshot as a human-readable report.
+func (t Telemetry) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	if err := write("pipeline: %d processed, %d recirculated\n", t.Processed, t.Recirculated); err != nil {
+		return n, err
+	}
+	for _, st := range t.Stages {
+		if err := write("stage %d: %d/%d blocks, %d/%d entries\n",
+			st.Stage, st.BlocksUsed, st.BlockBudget, st.EntriesUsed, st.EntriesReserved); err != nil {
+			return n, err
+		}
+		for _, tbl := range st.Tables {
+			if err := write("  %-28s %5d/%-5d entries  hits=%-8d misses=%-8d rate=%.2f\n",
+				tbl.Name, tbl.Used, tbl.Capacity, tbl.Hits, tbl.Misses, tbl.HitRate()); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}

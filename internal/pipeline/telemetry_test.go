@@ -1,0 +1,67 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stages = 2
+	pl := New(cfg)
+	tbl := newFwdTable("t0", 100)
+	mustInsert(t, tbl, &Rule{Matches: []Match{Eq(1), Eq(80)}, Action: "fwd", Params: []uint64{3}})
+	if err := pl.Stages[0].AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// 3 hits, 2 misses.
+	for i := 0; i < 3; i++ {
+		pl.Process(testPkt(1, 5, 80), 0)
+	}
+	for i := 0; i < 2; i++ {
+		pl.Process(testPkt(2, 5, 80), 0)
+	}
+
+	snap := pl.Snapshot()
+	if snap.Processed != 5 {
+		t.Errorf("processed = %d", snap.Processed)
+	}
+	if len(snap.Stages) != 2 {
+		t.Fatalf("stages = %d", len(snap.Stages))
+	}
+	ts := snap.Stages[0].Tables
+	if len(ts) != 1 || ts[0].Name != "t0" {
+		t.Fatalf("tables = %+v", ts)
+	}
+	if ts[0].Hits != 3 || ts[0].Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 3/2", ts[0].Hits, ts[0].Misses)
+	}
+	if got := ts[0].HitRate(); got < 0.59 || got > 0.61 {
+		t.Errorf("hit rate = %v, want 0.6", got)
+	}
+	if ts[0].Used != 1 || ts[0].Capacity != 100 {
+		t.Errorf("used/capacity = %d/%d", ts[0].Used, ts[0].Capacity)
+	}
+
+	var sb strings.Builder
+	if _, err := snap.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"5 processed", "stage 0:", "t0", "rate=0.60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotEmptyTable(t *testing.T) {
+	pl := New(DefaultConfig())
+	snap := pl.Snapshot()
+	if len(snap.Stages) != DefaultConfig().Stages {
+		t.Fatalf("stages = %d", len(snap.Stages))
+	}
+	if (TableStats{}).HitRate() != 0 {
+		t.Error("hit rate of idle table should be 0")
+	}
+}

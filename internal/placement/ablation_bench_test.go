@@ -1,0 +1,123 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sfp/internal/model"
+	"sfp/internal/traffic"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md §4 calls out: the
+// aggregated vs exact consistency rows (LP size/tightness trade-off), the
+// greedy warm start for branch and bound, and the structured rounding
+// heuristic inside the IP. Run with:
+//
+//	go test ./internal/placement -bench=Ablation -benchtime=3x
+
+func ablationInstance(seed int64, L int) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return &model.Instance{
+		Switch:   model.DefaultSwitchConfig(),
+		NumTypes: 10,
+		Recirc:   2,
+		Chains:   traffic.GenChains(rng, L, traffic.ChainParams{}),
+	}
+}
+
+// BenchmarkAblationConsistencyAggregated measures the LP relaxation with
+// the aggregated Eq. 9 rows (one per (type, stage)).
+func BenchmarkAblationConsistencyAggregated(b *testing.B) {
+	in := ablationInstance(1, 12)
+	var obj float64
+	for i := 0; i < b.N; i++ {
+		_, sol, err := SolveLPRelaxation(in, model.BuildOptions{Consolidate: true, ExactConsistency: false})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = sol.Objective
+	}
+	b.ReportMetric(obj, "lp-bound")
+}
+
+// BenchmarkAblationConsistencyExact measures the LP relaxation with the
+// paper's verbatim Eq. 9 (one row per z variable): tighter bound, more rows.
+func BenchmarkAblationConsistencyExact(b *testing.B) {
+	in := ablationInstance(1, 12)
+	var obj float64
+	for i := 0; i < b.N; i++ {
+		_, sol, err := SolveLPRelaxation(in, model.BuildOptions{Consolidate: true, ExactConsistency: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = sol.Objective
+	}
+	b.ReportMetric(obj, "lp-bound")
+}
+
+// BenchmarkAblationWarmStartOn measures a time-capped IP with the greedy
+// warm start (the default).
+func BenchmarkAblationWarmStartOn(b *testing.B) {
+	in := ablationInstance(2, 8)
+	var obj float64
+	for i := 0; i < b.N; i++ {
+		res, err := SolveIP(in, IPOptions{
+			Build: model.BuildOptions{Consolidate: true}, TimeLimit: 3 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = res.Objective
+	}
+	b.ReportMetric(obj, "objective@3s")
+}
+
+// BenchmarkAblationWarmStartOff measures the same solve cold: the objective
+// under the same time cap shows what the warm start buys.
+func BenchmarkAblationWarmStartOff(b *testing.B) {
+	in := ablationInstance(2, 8)
+	var obj float64
+	for i := 0; i < b.N; i++ {
+		res, err := SolveIP(in, IPOptions{
+			Build: model.BuildOptions{Consolidate: true}, TimeLimit: 3 * time.Second, NoWarmStart: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj = res.Objective
+	}
+	b.ReportMetric(obj, "objective@3s")
+}
+
+// BenchmarkAblationRoundingRetries measures Algorithm 1's sensitivity to
+// the rounding retry budget.
+func BenchmarkAblationRoundingRetries(b *testing.B) {
+	in := ablationInstance(3, 20)
+	for _, rounds := range []int{1, 10, 50} {
+		b.Run(map[int]string{1: "r1", 10: "r10", 50: "r50"}[rounds], func(b *testing.B) {
+			var obj float64
+			for i := 0; i < b.N; i++ {
+				res, err := SolveApprox(in, ApproxOptions{
+					Build: model.BuildOptions{Consolidate: true}, Seed: int64(i), Rounds: rounds,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				obj = res.Objective
+			}
+			b.ReportMetric(obj, "objective")
+		})
+	}
+}
+
+// BenchmarkGreedyPlacement measures Algorithm 2's raw speed at the paper's
+// L=50 scale (the "prompt deployment" use case).
+func BenchmarkGreedyPlacement(b *testing.B) {
+	in := ablationInstance(4, 50)
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveGreedy(in, GreedyOptions{Consolidate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

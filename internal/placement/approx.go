@@ -1,0 +1,236 @@
+package placement
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"sfp/internal/model"
+)
+
+// ApproxOptions tunes SolveApprox (Algorithm 1).
+type ApproxOptions struct {
+	// Build selects the formulation.
+	Build model.BuildOptions
+	// Rounds bounds rounding retries per recirculation trial (default 50).
+	Rounds int
+	// Seed makes the randomized rounding reproducible.
+	Seed int64
+	// FixedRecirc solves only the r = R trial instead of sweeping r = 0..R
+	// (Algorithm 1 line 2). The sweep finds the best recirculation budget;
+	// fixing it isolates one budget, as the Fig. 7 experiment needs.
+	FixedRecirc bool
+}
+
+// SolveApprox implements Algorithm 1 ("SFP-Appro."): for each recirculation
+// budget r = 0..R it relaxes the IP to an LP, rounds the fractional point
+// randomly, verifies the rounded point against the original constraints,
+// and — when verification fails — strips the selected SFC with the worst
+// bandwidth-per-resource metric (Eq. 13) and retries. The best verified
+// assignment across trials wins.
+func SolveApprox(in *model.Instance, opts ApproxOptions) (*Result, error) {
+	start := time.Now()
+	if opts.Rounds == 0 {
+		opts.Rounds = 50
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	best := emptyAssignment(in)
+	bestMetrics := model.ComputeMetrics(in, best, opts.Build.Consolidate)
+
+	startR := 0
+	if opts.FixedRecirc {
+		startR = in.Recirc
+	}
+	for r := startR; r <= in.Recirc; r++ {
+		trial := *in
+		trial.Recirc = r
+		enc, sol, err := SolveLPRelaxation(&trial, opts.Build)
+		if err != nil {
+			return nil, err
+		}
+		a, ok := roundAndRepair(&trial, enc, sol.X, opts, rng)
+		if !ok {
+			continue
+		}
+		// Polish: the strip-repair step may have evicted whole chains whose
+		// resources are now partly free; a greedy completion over the
+		// residual space only adds deployments (rounded chains stay put).
+		if gr, err := SolveGreedy(&trial, GreedyOptions{Consolidate: opts.Build.Consolidate, Pinned: a}); err == nil {
+			a = gr.Assignment
+		}
+		m := model.ComputeMetrics(&trial, a, opts.Build.Consolidate)
+		if m.Objective > bestMetrics.Objective {
+			// Assignments from a smaller virtual pipeline remain valid in
+			// the full instance (stages only extend).
+			best, bestMetrics = a, m
+		}
+	}
+
+	if err := model.Verify(in, best, opts.Build.Consolidate); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assignment: best,
+		Metrics:    bestMetrics,
+		Objective:  bestMetrics.Objective,
+		Elapsed:    time.Since(start),
+		Status:     "rounded",
+	}, nil
+}
+
+// roundAndRepair performs the rounding loop of Algorithm 1 for one
+// recirculation trial. The returned assignment is Verify-feasible.
+func roundAndRepair(in *model.Instance, enc *model.Encoded, x []float64, opts ApproxOptions, rng *rand.Rand) (*model.Assignment, bool) {
+	stripped := make(map[int]bool) // chain indices removed by the repair step
+	for attempt := 0; attempt < opts.Rounds; attempt++ {
+		a := roundOnce(in, enc, x, stripped, rng)
+		if err := model.Verify(in, a, opts.Build.Consolidate); err == nil {
+			return a, true
+		}
+		// Strip the selected chain with the worst Eq. 13 metric.
+		worst, worstMetric := -1, 0.0
+		for l, c := range in.Chains {
+			if stripped[l] || !a.Deployed(l) {
+				continue
+			}
+			m := Metric(c)
+			if worst == -1 || m < worstMetric {
+				worst, worstMetric = l, m
+			}
+		}
+		if worst == -1 {
+			// Nothing left to strip: fall back to the empty assignment.
+			return emptyAssignment(in), true
+		}
+		stripped[worst] = true
+	}
+	return nil, false
+}
+
+// roundOnce draws one randomized rounding of the relaxed point:
+//
+//   - each chain deploys with probability d_l (its relaxed deployment mass),
+//   - a deployed chain's boxes sample stages from the normalized z
+//     distribution left-to-right, conditioned on strictly increasing stages,
+//   - x is rounded up wherever a sampled box requires the physical NF, and
+//     each remaining type keeps its highest-mass stage (Eq. 4).
+//
+// The draw may violate memory/capacity constraints — Verify decides.
+func roundOnce(in *model.Instance, enc *model.Encoded, x []float64, stripped map[int]bool, rng *rand.Rand) *model.Assignment {
+	S, K := in.Switch.Stages, in.K()
+	a := model.NewAssignment(in)
+
+	for l, c := range in.Chains {
+		if stripped[l] {
+			continue
+		}
+		J := c.Len()
+		// Deployment probability = Σ_k z_{l,0,k}.
+		d := 0.0
+		for k := 0; k < K; k++ {
+			d += enc.ZValue(x, l, 0, k)
+		}
+		if d > 1 {
+			d = 1
+		}
+		if rng.Float64() >= d {
+			continue
+		}
+		stages := make([]int, J)
+		ok := true
+		prev := -1
+		for j := 0; j < J; j++ {
+			// Sample stage k > prev proportionally to z mass.
+			total := 0.0
+			for k := prev + 1; k < K; k++ {
+				total += enc.ZValue(x, l, j, k)
+			}
+			var pick int
+			if total <= 1e-12 {
+				// No fractional mass beyond prev: fall back to the first
+				// feasible slot (j..) after prev.
+				pick = -1
+				for k := prev + 1; k < K; k++ {
+					lo, hi := enc.ZWindow(l, j)
+					if k >= lo && k <= hi {
+						pick = k
+						break
+					}
+				}
+				if pick == -1 {
+					ok = false
+					break
+				}
+			} else {
+				r := rng.Float64() * total
+				pick = -1
+				for k := prev + 1; k < K; k++ {
+					z := enc.ZValue(x, l, j, k)
+					if z <= 0 {
+						continue
+					}
+					if r < z {
+						pick = k
+						break
+					}
+					r -= z
+				}
+				if pick == -1 { // numerical leftovers: last positive slot
+					for k := K - 1; k > prev; k-- {
+						if enc.ZValue(x, l, j, k) > 0 {
+							pick = k
+							break
+						}
+					}
+				}
+				if pick == -1 {
+					ok = false
+					break
+				}
+			}
+			stages[j] = pick
+			prev = pick
+		}
+		if !ok {
+			continue
+		}
+		copy(a.Stages[l], stages)
+		for j, k := range stages {
+			a.X[c.NFs[j].Type-1][k%S] = true
+		}
+	}
+
+	// Eq. 4: every type needs at least one instance; give absent types
+	// their highest-fractional-mass stage.
+	for i := 0; i < in.NumTypes; i++ {
+		present := false
+		for s := 0; s < S; s++ {
+			present = present || a.X[i][s]
+		}
+		if present {
+			continue
+		}
+		bestS, bestV := 0, -1.0
+		for s := 0; s < S; s++ {
+			if v := enc.XValue(x, i+1, s); v > bestV {
+				bestS, bestV = s, v
+			}
+		}
+		a.X[i][bestS] = true
+	}
+	return a
+}
+
+// sortChainsByMetric returns chain indices ordered by Eq. 13 descending
+// (shared with the greedy algorithm).
+func sortChainsByMetric(in *model.Instance) []int {
+	idx := make([]int, len(in.Chains))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return Metric(in.Chains[idx[a]]) > Metric(in.Chains[idx[b]])
+	})
+	return idx
+}

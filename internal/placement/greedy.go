@@ -1,0 +1,198 @@
+package placement
+
+import (
+	"time"
+
+	"sfp/internal/model"
+)
+
+// GreedyOptions tunes SolveGreedy.
+type GreedyOptions struct {
+	// Consolidate matches the memory model used for accounting (Eq. 11
+	// when true, Eq. 25 when false).
+	Consolidate bool
+	// Pinned, when set, pre-commits already-placed chains (non-negative
+	// stages) and their physical layout; greedy then only places the
+	// remaining chains into the residual resources. This is the runtime
+	// update's incremental heuristic (§V-E with Algorithm 2).
+	Pinned *model.Assignment
+}
+
+// greedyState tracks the resources the greedy algorithm consumes as it
+// commits chains.
+type greedyState struct {
+	in   *model.Instance
+	cons bool
+	// X is the growing physical layout.
+	X [][]bool
+	// rules[i][s] is the total rules of type i+1 placed on stage s
+	// (consolidated accounting).
+	rules [][]int
+	// blocks[s] is block usage under non-consolidated accounting.
+	blocks []int
+	// capUsed is the Eq. 12 backplane load.
+	capUsed float64
+}
+
+func newGreedyState(in *model.Instance, cons bool) *greedyState {
+	g := &greedyState{in: in, cons: cons}
+	g.X = make([][]bool, in.NumTypes)
+	g.rules = make([][]int, in.NumTypes)
+	for i := range g.X {
+		g.X[i] = make([]bool, in.Switch.Stages)
+		g.rules[i] = make([]int, in.Switch.Stages)
+	}
+	g.blocks = make([]int, in.Switch.Stages)
+	return g
+}
+
+// stageBlocks returns current block usage on physical stage s.
+func (g *greedyState) stageBlocks(s int) int {
+	E := g.in.Switch.EntriesPerBlock
+	if !g.cons {
+		return g.blocks[s]
+	}
+	total := 0
+	for i := range g.rules {
+		total += (g.rules[i][s] + E - 1) / E
+	}
+	return total
+}
+
+// fits reports whether adding `add` rules of type t (1-based) on stage s
+// keeps the stage within its block budget.
+func (g *greedyState) fits(t, s, add int) bool {
+	E, B := g.in.Switch.EntriesPerBlock, g.in.Switch.BlocksPerStage
+	if g.cons {
+		before := (g.rules[t-1][s] + E - 1) / E
+		after := (g.rules[t-1][s] + add + E - 1) / E
+		return g.stageBlocks(s)-before+after <= B
+	}
+	return g.blocks[s]+(add+E-1)/E <= B
+}
+
+// place commits `add` rules of type t on stage s.
+func (g *greedyState) place(t, s, add int) {
+	g.rules[t-1][s] += add
+	E := g.in.Switch.EntriesPerBlock
+	if !g.cons {
+		g.blocks[s] += (add + E - 1) / E
+	}
+	g.X[t-1][s] = true
+}
+
+// clone snapshots the state for tentative placement.
+func (g *greedyState) clone() *greedyState {
+	c := &greedyState{in: g.in, cons: g.cons, capUsed: g.capUsed}
+	c.X = make([][]bool, len(g.X))
+	c.rules = make([][]int, len(g.rules))
+	for i := range g.X {
+		c.X[i] = append([]bool(nil), g.X[i]...)
+		c.rules[i] = append([]int(nil), g.rules[i]...)
+	}
+	c.blocks = append([]int(nil), g.blocks...)
+	return c
+}
+
+// tryChain attempts to place one chain. Per Algorithm 2, each box goes to
+// the "nearest next" physical NF with enough resource capability, with a
+// new physical NF installed at the nearest next stage otherwise. Under the
+// block-granular memory model those two cases cost the same wherever they
+// land (rules of one type on one stage share the block ceiling), so the
+// scan is a single ascending first-fit over virtual stages — which also
+// minimizes recirculation, the scarcer Eq. 12 resource. It returns the box
+// stages on success.
+func (g *greedyState) tryChain(c *model.Chain) ([]int, *greedyState, bool) {
+	S, K := g.in.Switch.Stages, g.in.K()
+	work := g.clone()
+	stages := make([]int, c.Len())
+	cursor := 0
+	for j, b := range c.NFs {
+		placed := -1
+		for k := cursor; k < K; k++ {
+			s := k % S
+			if work.fits(b.Type, s, b.Rules) {
+				placed = k
+				break
+			}
+		}
+		if placed == -1 {
+			return nil, nil, false
+		}
+		work.place(b.Type, placed%S, b.Rules)
+		stages[j] = placed
+		cursor = placed + 1
+	}
+	passes := stages[len(stages)-1]/S + 1
+	if work.capUsed+float64(passes)*c.BandwidthGbps > g.in.Switch.CapacityGbps {
+		return nil, nil, false
+	}
+	work.capUsed += float64(passes) * c.BandwidthGbps
+	return stages, work, true
+}
+
+// SolveGreedy implements Algorithm 2: chains are ordered by the Eq. 13
+// metric and placed first-fit; Resource_recompute is the committed state
+// carried between chains.
+func SolveGreedy(in *model.Instance, opts GreedyOptions) (*Result, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := newGreedyState(in, opts.Consolidate)
+	a := model.NewAssignment(in)
+
+	pinned := map[int]bool{}
+	if opts.Pinned != nil {
+		S := in.Switch.Stages
+		for i := range opts.Pinned.X {
+			copy(g.X[i], opts.Pinned.X[i])
+		}
+		for l, c := range in.Chains {
+			if !opts.Pinned.Deployed(l) {
+				continue
+			}
+			pinned[l] = true
+			copy(a.Stages[l], opts.Pinned.Stages[l])
+			for j, k := range opts.Pinned.Stages[l] {
+				g.place(c.NFs[j].Type, k%S, c.NFs[j].Rules)
+			}
+			g.capUsed += float64(opts.Pinned.Passes(l, S)) * c.BandwidthGbps
+		}
+	}
+
+	for _, l := range sortChainsByMetric(in) {
+		if pinned[l] {
+			continue
+		}
+		stages, next, ok := g.tryChain(in.Chains[l])
+		if !ok {
+			continue
+		}
+		*g = *next
+		copy(a.Stages[l], stages)
+	}
+	// Physical layout from the committed state, plus Eq. 4 fill-in for
+	// types no chain used (they consume no memory until configured).
+	for i := range g.X {
+		copy(a.X[i], g.X[i])
+		present := false
+		for s := range a.X[i] {
+			present = present || a.X[i][s]
+		}
+		if !present {
+			a.X[i][0] = true
+		}
+	}
+	if err := model.Verify(in, a, opts.Consolidate); err != nil {
+		return nil, err
+	}
+	m := model.ComputeMetrics(in, a, opts.Consolidate)
+	return &Result{
+		Assignment: a,
+		Metrics:    m,
+		Objective:  m.Objective,
+		Elapsed:    time.Since(start),
+		Status:     "greedy",
+	}, nil
+}

@@ -1,0 +1,265 @@
+package placement
+
+import (
+	"fmt"
+	"time"
+
+	"sfp/internal/ilp"
+	"sfp/internal/model"
+)
+
+// Updater implements runtime update (§V-E). It tracks which chains are
+// live (placed), which are waiting candidates, and which departed; Replan
+// places waiting candidates into the resources departures released while
+// keeping survivors pinned to their current stages and the physical layout
+// fixed, and MaybeReconfigure compares the incremental result against a
+// full re-optimization to decide whether a (disruptive) reconfiguration is
+// worthwhile.
+type Updater struct {
+	sw       model.SwitchConfig
+	numTypes int
+	recirc   int
+	build    model.BuildOptions
+
+	chains map[int]*model.Chain
+	// live maps chain ID to its virtual stages.
+	live map[int][]int
+	// waiting holds candidate IDs not yet placed.
+	waiting map[int]bool
+	// layout is the current physical-NF placement.
+	layout [][]bool
+}
+
+// NewUpdater starts runtime management from an initial placement produced
+// by any of the solvers over the given instance.
+func NewUpdater(in *model.Instance, a *model.Assignment, build model.BuildOptions) (*Updater, error) {
+	if err := model.Verify(in, a, build.Consolidate); err != nil {
+		return nil, fmt.Errorf("placement: initial assignment invalid: %w", err)
+	}
+	u := &Updater{
+		sw:       in.Switch,
+		numTypes: in.NumTypes,
+		recirc:   in.Recirc,
+		build:    build,
+		chains:   make(map[int]*model.Chain),
+		live:     make(map[int][]int),
+		waiting:  make(map[int]bool),
+		layout:   make([][]bool, in.NumTypes),
+	}
+	for i := range u.layout {
+		u.layout[i] = append([]bool(nil), a.X[i]...)
+	}
+	for l, c := range in.Chains {
+		u.chains[c.ID] = c
+		if a.Deployed(l) {
+			u.live[c.ID] = append([]int(nil), a.Stages[l]...)
+		} else {
+			u.waiting[c.ID] = true
+		}
+	}
+	return u, nil
+}
+
+// Live returns the IDs of currently placed chains.
+func (u *Updater) Live() []int {
+	ids := make([]int, 0, len(u.live))
+	for id := range u.live {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Waiting returns the number of unplaced candidates.
+func (u *Updater) Waiting() int { return len(u.waiting) }
+
+// Depart removes a tenant: its rules disappear from the data plane and its
+// resources become available to future Replan calls.
+func (u *Updater) Depart(id int) error {
+	if _, ok := u.live[id]; !ok {
+		return fmt.Errorf("placement: chain %d is not live", id)
+	}
+	delete(u.live, id)
+	delete(u.chains, id)
+	return nil
+}
+
+// Arrive registers a new candidate chain. Its ID must be fresh.
+func (u *Updater) Arrive(c *model.Chain) error {
+	if _, ok := u.chains[c.ID]; ok {
+		return fmt.Errorf("placement: chain ID %d already known", c.ID)
+	}
+	u.chains[c.ID] = c
+	u.waiting[c.ID] = true
+	return nil
+}
+
+// Adjust replaces a live tenant's chain definition; per §V-E this is
+// treated as a departure followed by an arrival (the new chain waits for
+// the next Replan).
+func (u *Updater) Adjust(id int, replacement *model.Chain) error {
+	if err := u.Depart(id); err != nil {
+		return err
+	}
+	return u.Arrive(replacement)
+}
+
+// snapshot builds the current instance (live + waiting chains, stable
+// order) and the assignment of the live ones.
+func (u *Updater) snapshot() (*model.Instance, *model.Assignment, []int) {
+	in := &model.Instance{Switch: u.sw, NumTypes: u.numTypes, Recirc: u.recirc}
+	var ids []int
+	for id := range u.chains {
+		ids = append(ids, id)
+	}
+	// Deterministic order: ascending IDs.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		in.Chains = append(in.Chains, u.chains[id])
+	}
+	a := model.NewAssignment(in)
+	for i := range u.layout {
+		copy(a.X[i], u.layout[i])
+	}
+	for l, c := range in.Chains {
+		if st, ok := u.live[c.ID]; ok {
+			copy(a.Stages[l], st)
+		}
+	}
+	return in, a, ids
+}
+
+// Current returns the live instance, assignment and metrics.
+func (u *Updater) Current() (*model.Instance, *model.Assignment, model.Metrics) {
+	in, a, _ := u.snapshot()
+	return in, a, model.ComputeMetrics(in, a, u.build.Consolidate)
+}
+
+// ReplanOptions tunes an incremental replan.
+type ReplanOptions struct {
+	// TimeLimit bounds the embedded IP solve (0 = none).
+	TimeLimit time.Duration
+	// MaxNodes bounds the search (0 = solver default).
+	MaxNodes int
+}
+
+// Replan places waiting candidates into the released resources: survivors
+// stay pinned to their stages, the physical layout stays fixed, and the IP
+// optimizes only over the incremental chains. Newly placed chains become
+// live. It returns the post-update metrics.
+func (u *Updater) Replan(opts ReplanOptions) (model.Metrics, error) {
+	in, cur, ids := u.snapshot()
+	build := u.build
+	// Same adaptive consistency policy as SolveIP: tight rows while the
+	// LP stays interruptible-sized, aggregated beyond.
+	zCount := 0
+	for _, c := range in.Chains {
+		zCount += c.Len() * in.K()
+	}
+	build.ExactConsistency = zCount <= exactConsistencyLimit
+	enc, err := model.Build(in, build)
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	enc.PinPhysical(u.layout)
+	for l, c := range in.Chains {
+		if st, ok := u.live[c.ID]; ok {
+			if err := enc.PinChain(l, st); err != nil {
+				return model.Metrics{}, err
+			}
+		}
+	}
+	res, err := ilp.Solve(&ilp.Problem{LP: enc.Prob, IntVars: enc.IntVars}, ilp.Options{
+		TimeLimit:    opts.TimeLimit,
+		MaxNodes:     opts.MaxNodes,
+		PriorityVars: enc.XVars(),
+		CeilVars:     enc.AuxVars(),
+	})
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
+		// Nothing placeable: keep the current state.
+		return model.ComputeMetrics(in, cur, u.build.Consolidate), nil
+	}
+	a := enc.Decode(res.X)
+	if err := model.Verify(in, a, u.build.Consolidate); err != nil {
+		return model.Metrics{}, fmt.Errorf("placement: replan verification: %w", err)
+	}
+	for l, id := range ids {
+		if a.Deployed(l) {
+			u.live[id] = append([]int(nil), a.Stages[l]...)
+			delete(u.waiting, id)
+		}
+	}
+	// Newly used physical NFs extend the layout.
+	for i := range a.X {
+		for s := range a.X[i] {
+			u.layout[i][s] = u.layout[i][s] || a.X[i][s]
+		}
+	}
+	return model.ComputeMetrics(in, a, u.build.Consolidate), nil
+}
+
+// ReplanGreedy places waiting candidates with the Algorithm-2 heuristic
+// over the residual resources, keeping survivors pinned. It is the prompt
+// (no-IP) variant of Replan, used when update latency matters more than
+// optimality (§V-D's trade-off).
+func (u *Updater) ReplanGreedy() (model.Metrics, error) {
+	in, cur, ids := u.snapshot()
+	res, err := SolveGreedy(in, GreedyOptions{Consolidate: u.build.Consolidate, Pinned: cur})
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	if err := model.Verify(in, res.Assignment, u.build.Consolidate); err != nil {
+		return model.Metrics{}, fmt.Errorf("placement: greedy replan verification: %w", err)
+	}
+	for l, id := range ids {
+		if res.Assignment.Deployed(l) {
+			u.live[id] = append([]int(nil), res.Assignment.Stages[l]...)
+			delete(u.waiting, id)
+		}
+	}
+	for i := range res.Assignment.X {
+		for s := range res.Assignment.X[i] {
+			u.layout[i][s] = u.layout[i][s] || res.Assignment.X[i][s]
+		}
+	}
+	return res.Metrics, nil
+}
+
+// MaybeReconfigure solves the unrestricted placement from scratch; if the
+// current objective falls below threshold × the global optimum, the global
+// solution is adopted (modeling the §V-E full reconfiguration, which in a
+// real deployment rewrites extensive rules or reboots the switch). It
+// returns whether reconfiguration happened and the resulting metrics.
+func (u *Updater) MaybeReconfigure(threshold float64, opts ReplanOptions) (bool, model.Metrics, error) {
+	in, cur, ids := u.snapshot()
+	curM := model.ComputeMetrics(in, cur, u.build.Consolidate)
+	full, err := SolveIP(in, IPOptions{Build: u.build, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes})
+	if err != nil {
+		return false, curM, err
+	}
+	if full.Assignment == nil || curM.Objective >= threshold*full.Objective {
+		return false, curM, nil
+	}
+	// Adopt the global solution wholesale.
+	u.live = make(map[int][]int)
+	u.waiting = make(map[int]bool)
+	for l, id := range ids {
+		if full.Assignment.Deployed(l) {
+			u.live[id] = append([]int(nil), full.Assignment.Stages[l]...)
+		} else {
+			u.waiting[id] = true
+		}
+	}
+	for i := range full.Assignment.X {
+		copy(u.layout[i], full.Assignment.X[i])
+	}
+	return true, full.Metrics, nil
+}

@@ -1,0 +1,158 @@
+package softnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfp/internal/packet"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig(), 0); err == nil {
+		t.Error("zero-length chain accepted")
+	}
+	if _, err := New(Config{}, 4); err == nil {
+		t.Error("zero config accepted")
+	}
+	r, err := New(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemoryMB < 600 || r.MemoryMB > 900 {
+		t.Errorf("memory %v MB implausible (paper: ≈722 MB)", r.MemoryMB)
+	}
+}
+
+func TestCapacityCalibration(t *testing.T) {
+	// The paper's shape: 4-NF DPDK chain cannot push 64 B packets at line
+	// rate (≥10× below the switch) but saturates 100 Gbps at 1500 B.
+	r, _ := New(DefaultConfig(), 4)
+	small := r.ThroughputGbps(64, 100)
+	if small > 10 {
+		t.Errorf("64B throughput %v Gbps: gap to 100 Gbps is < 10×", small)
+	}
+	if small < 2 {
+		t.Errorf("64B throughput %v Gbps implausibly low", small)
+	}
+	large := r.ThroughputGbps(1500, 100)
+	if large < 99.9 {
+		t.Errorf("1500B throughput %v Gbps, want saturation", large)
+	}
+	// Monotone in frame size until the NIC bound.
+	prev := 0.0
+	for _, size := range []int{64, 128, 256, 512, 1024, 1500} {
+		tp := r.ThroughputGbps(size, 100)
+		if tp < prev-1e-9 {
+			t.Errorf("throughput not monotone at %dB", size)
+		}
+		prev = tp
+	}
+}
+
+func TestThroughputOfferedBound(t *testing.T) {
+	r, _ := New(DefaultConfig(), 4)
+	if got := r.ThroughputGbps(1500, 40); got > 40+1e-9 {
+		t.Errorf("throughput %v exceeds offered 40", got)
+	}
+}
+
+func TestLatencyCalibration(t *testing.T) {
+	// The paper reports ≈1151 ns average DPDK latency over the size sweep.
+	r, _ := New(DefaultConfig(), 4)
+	sum := 0.0
+	sizes := []int{64, 128, 256, 512, 1024, 1500}
+	for _, s := range sizes {
+		sum += r.LatencyNs(s)
+	}
+	avg := sum / float64(len(sizes))
+	if avg < 900 || avg > 1500 {
+		t.Errorf("mean latency %v ns, want ≈1151", avg)
+	}
+	// Latency grows with size (DMA) and with chain length (CPU).
+	if r.LatencyNs(1500) <= r.LatencyNs(64) {
+		t.Error("latency not increasing in frame size")
+	}
+	r8, _ := New(DefaultConfig(), 8)
+	if r8.LatencyNs(256) <= r.LatencyNs(256) {
+		t.Error("latency not increasing in chain length")
+	}
+}
+
+func TestProcessCounts(t *testing.T) {
+	r, _ := New(DefaultConfig(), 4)
+	p := packet.NewBuilder().WithIPv4(1, 2).WithTCP(1, 2).WithWireLen(256).Build()
+	lat := r.Process(p)
+	if lat <= 0 {
+		t.Error("non-positive latency")
+	}
+	if r.Processed != 1 {
+		t.Errorf("processed = %d", r.Processed)
+	}
+}
+
+func TestCPUUtilization(t *testing.T) {
+	r, _ := New(DefaultConfig(), 4)
+	// Near the paper's operating point: ≈30% of 56 cores.
+	util := r.CPUUtilization(9e6, 56)
+	if util < 0.2 || util > 0.45 {
+		t.Errorf("utilization %v, want ≈0.30", util)
+	}
+	// Saturating load cannot exceed worker + overhead cores.
+	if u := r.CPUUtilization(1e9, 56); u > float64(r.Cfg.WorkerCores+7)/56 {
+		t.Errorf("utilization %v exceeds core budget", u)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		j := Jitter(rng, 1000)
+		if j < 920 || j > 1080 {
+			t.Fatalf("jitter %v outside ±8%%", j)
+		}
+	}
+}
+
+func TestCoresFor(t *testing.T) {
+	cfg := DefaultConfig()
+	// 10 Gbps of 4-NF chain at 600B frames: pps = 10e9/(620*8) ≈ 2.02 Mpps;
+	// cycles = 150+4*590 = 2510 → cores = 2.02e6*2510/2.2e9 ≈ 2.3.
+	got := CoresFor(cfg, 4, 10, 600)
+	if got < 2.0 || got > 2.6 {
+		t.Errorf("CoresFor = %v, want ≈2.3", got)
+	}
+	// Scales linearly in rate and chain length.
+	if double := CoresFor(cfg, 4, 20, 600); double < 1.9*got || double > 2.1*got {
+		t.Errorf("not linear in rate: %v vs %v", double, got)
+	}
+	if CoresFor(cfg, 0, 10, 600) != 0 || CoresFor(cfg, 4, 0, 600) != 0 || CoresFor(cfg, 4, 10, 0) != 0 {
+		t.Error("degenerate inputs should cost 0")
+	}
+}
+
+func TestLatencyUnderLoad(t *testing.T) {
+	r, _ := New(DefaultConfig(), 4)
+	base := r.LatencyNs(256)
+	// Negligible load: ≈ base.
+	if got := r.LatencyUnderLoadNs(256, 0.1); got > base*1.05 {
+		t.Errorf("light-load latency %v vs base %v", got, base)
+	}
+	// Monotone in load, and sharply worse near capacity.
+	prev := 0.0
+	cap := r.ThroughputGbps(256, 1e9) // CPU-bound Gbps at this size
+	for _, frac := range []float64{0.2, 0.5, 0.8, 0.95} {
+		got := r.LatencyUnderLoadNs(256, frac*cap)
+		if got <= prev {
+			t.Errorf("latency not increasing at load %v", frac)
+		}
+		prev = got
+	}
+	if near := r.LatencyUnderLoadNs(256, 0.95*cap); near < base+5*r.cyclesPerPacket()/r.Cfg.CoreGHz {
+		t.Errorf("near-capacity latency %v lacks queueing blow-up (base %v)", near, base)
+	}
+	// Beyond capacity: finite (clamped) but enormous.
+	over := r.LatencyUnderLoadNs(256, 10*cap)
+	if over < 100*base {
+		t.Errorf("saturated latency %v implausibly low", over)
+	}
+}

@@ -1,0 +1,125 @@
+package traffic
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sfp/internal/packet"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gens := []*FlowGen{
+		NewFlowGen(rng, 1, packet.IPv4Addr(20, 0, 0, 1), 8),
+		NewFlowGen(rng, 2, packet.IPv4Addr(20, 0, 0, 2), 8),
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := SynthesizeTrace(tw, gens, IMCMix(), 500, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != 500 {
+		t.Fatalf("wrote %d records", tw.Count())
+	}
+
+	tr := NewTraceReader(&buf)
+	n := 0
+	lastTS := -1.0
+	tenants := map[uint32]int{}
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if rec.TimestampNs <= lastTS {
+			t.Fatal("timestamps not strictly increasing")
+		}
+		lastTS = rec.TimestampNs
+		tenants[rec.Tenant]++
+		p := rec.Packet()
+		if p.WireLen() != rec.WireLen {
+			t.Fatalf("materialized wire len %d != %d", p.WireLen(), rec.WireLen)
+		}
+		if p.Meta.TenantID != rec.Tenant {
+			t.Fatal("tenant lost")
+		}
+	}
+	if n != 500 {
+		t.Fatalf("read %d records", n)
+	}
+	if tenants[1] != 250 || tenants[2] != 250 {
+		t.Errorf("tenant split = %v, want 250/250", tenants)
+	}
+	// 1 Mpps → 1000 ns spacing → last timestamp ≈ 499 µs.
+	if lastTS < 498e3 || lastTS > 500e3 {
+		t.Errorf("last timestamp = %v ns", lastTS)
+	}
+}
+
+func TestTraceReaderRejectsGarbage(t *testing.T) {
+	tr := NewTraceReader(strings.NewReader(`{"ts_ns":1,"tenant":1,"wire_len":0}` + "\n"))
+	if _, err := tr.Next(); err == nil {
+		t.Error("zero wire_len accepted")
+	}
+	tr2 := NewTraceReader(strings.NewReader("not json\n"))
+	if _, err := tr2.Next(); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestSynthesizeTraceValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SynthesizeTrace(NewTraceWriter(&buf), nil, IMCMix(), 10, 1e6); err == nil {
+		t.Error("no generators accepted")
+	}
+	rng := rand.New(rand.NewSource(2))
+	g := NewFlowGen(rng, 1, 5, 4)
+	if err := SynthesizeTrace(NewTraceWriter(&buf), []*FlowGen{g}, IMCMix(), 10, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+// fakeProc counts invocations and drops every 5th packet.
+type fakeProc struct{ n int }
+
+func (f *fakeProc) Process(p *packet.Packet, nowNs float64) (float64, int, bool) {
+	f.n++
+	if f.n%5 == 0 {
+		return 0, 0, true
+	}
+	return 300 + float64(f.n%3), 1 + f.n%2, false
+}
+
+func TestReplayAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewFlowGen(rng, 9, packet.IPv4Addr(20, 0, 0, 1), 4)
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := SynthesizeTrace(tw, []*FlowGen{g}, IMCMix(), 100, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	proc := &fakeProc{}
+	st, err := Replay(NewTraceReader(&buf), proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Packets != 100 || st.Drops != 20 {
+		t.Errorf("packets/drops = %d/%d, want 100/20", st.Packets, st.Drops)
+	}
+	if st.MeanLatency < 300 || st.MeanLatency > 303 {
+		t.Errorf("mean latency = %v", st.MeanLatency)
+	}
+	if st.MaxPasses != 2 {
+		t.Errorf("max passes = %d", st.MaxPasses)
+	}
+	if st.ByTenant[9] != 100 {
+		t.Errorf("tenant count = %v", st.ByTenant)
+	}
+}

@@ -1,0 +1,217 @@
+// Package traffic synthesizes the workloads of the paper's evaluation
+// (§VI-A "Dataset"): SFC candidate sets whose chains pick random NF types,
+// whose per-NF rule counts are uniform in [100, 2100], and whose bandwidth
+// demands follow a long-tail (Pareto) distribution; plus packet-level
+// traffic with the IMC'10-style size mix used for the data-plane
+// experiments (Figs. 4 and 5).
+package traffic
+
+import (
+	"math"
+	"math/rand"
+
+	"sfp/internal/model"
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/vswitch"
+)
+
+// ChainParams tunes the SFC dataset sampler. Zero values select the paper's
+// §VI-C defaults.
+type ChainParams struct {
+	// NumTypes is I (default nf.TypeCount = 10).
+	NumTypes int
+	// MeanLen is the average chain length J̄ (default 5).
+	MeanLen int
+	// RuleMin/RuleMax bound the per-NF rule count (default 100..2100).
+	RuleMin, RuleMax int
+	// ParetoAlpha/ParetoXm shape the long-tail bandwidth distribution
+	// (default α=1.8, x_m=4 → mean ≈ 9 Gbps).
+	ParetoAlpha, ParetoXm float64
+	// BandwidthCap truncates the tail (default 60 Gbps).
+	BandwidthCap float64
+}
+
+func (p ChainParams) withDefaults() ChainParams {
+	if p.NumTypes == 0 {
+		p.NumTypes = nf.TypeCount
+	}
+	if p.MeanLen == 0 {
+		p.MeanLen = 5
+	}
+	if p.RuleMin == 0 {
+		p.RuleMin = 100
+	}
+	if p.RuleMax == 0 {
+		p.RuleMax = 2100
+	}
+	if p.ParetoAlpha == 0 {
+		p.ParetoAlpha = 1.8
+	}
+	if p.ParetoXm == 0 {
+		p.ParetoXm = 4
+	}
+	if p.BandwidthCap == 0 {
+		p.BandwidthCap = 60
+	}
+	return p
+}
+
+// Pareto samples a truncated Pareto(α, x_m) variate — the long-tail
+// bandwidth model.
+func Pareto(rng *rand.Rand, alpha, xm, cap float64) float64 {
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	v := xm / math.Pow(1-u, 1/alpha)
+	if v > cap {
+		v = cap
+	}
+	return v
+}
+
+// GenChains samples L SFC candidates for the control-plane experiments.
+// Chain IDs are 1..L. Lengths vary ±2 around MeanLen (min 1); each box
+// picks a uniform type and a uniform rule count.
+func GenChains(rng *rand.Rand, L int, p ChainParams) []*model.Chain {
+	p = p.withDefaults()
+	chains := make([]*model.Chain, 0, L)
+	for l := 0; l < L; l++ {
+		J := p.MeanLen + rng.Intn(5) - 2
+		if J < 1 {
+			J = 1
+		}
+		c := &model.Chain{
+			ID:            l + 1,
+			BandwidthGbps: Pareto(rng, p.ParetoAlpha, p.ParetoXm, p.BandwidthCap),
+		}
+		for j := 0; j < J; j++ {
+			c.NFs = append(c.NFs, model.ChainNF{
+				Type:  1 + rng.Intn(p.NumTypes),
+				Rules: p.RuleMin + rng.Intn(p.RuleMax-p.RuleMin+1),
+			})
+		}
+		chains = append(chains, c)
+	}
+	return chains
+}
+
+// GenChainsFixedLen samples chains of exactly length J (used by the
+// recirculation experiment of Fig. 7, which fixes J=8).
+func GenChainsFixedLen(rng *rand.Rand, L, J int, p ChainParams) []*model.Chain {
+	p = p.withDefaults()
+	chains := GenChains(rng, L, p)
+	for _, c := range chains {
+		for len(c.NFs) > J {
+			c.NFs = c.NFs[:J]
+		}
+		for len(c.NFs) < J {
+			c.NFs = append(c.NFs, model.ChainNF{
+				Type:  1 + rng.Intn(p.NumTypes),
+				Rules: p.RuleMin + rng.Intn(p.RuleMax-p.RuleMin+1),
+			})
+		}
+	}
+	return chains
+}
+
+// ToSFC expands a model chain into a runnable vswitch SFC with synthesized
+// per-NF rule configurations, so data-plane integration tests can install
+// exactly the workload the control plane placed. rulesCap bounds the
+// materialized rules per NF (the model's F counts can be large; packet
+// behaviour needs only a sample).
+func ToSFC(rng *rand.Rand, c *model.Chain, rulesCap int) *vswitch.SFC {
+	s := &vswitch.SFC{Tenant: uint32(c.ID), BandwidthGbps: c.BandwidthGbps}
+	for _, b := range c.NFs {
+		n := b.Rules
+		if rulesCap > 0 && n > rulesCap {
+			n = rulesCap
+		}
+		s.NFs = append(s.NFs, nf.Synthesize(nf.Type(b.Type), n, rng))
+	}
+	return s
+}
+
+// PacketSizes is the Fig. 4/5 sweep.
+var PacketSizes = []int{64, 128, 256, 512, 1024, 1500}
+
+// SizeMix is a packet-size distribution. Weights need not sum to 1.
+type SizeMix struct {
+	Sizes   []int
+	Weights []float64
+}
+
+// IMCMix approximates the bimodal data-center mix of Benson et al.
+// (IMC'10, the paper's [27]): ≈50% small packets, ≈40% near-MTU, the rest
+// spread across middle sizes.
+func IMCMix() SizeMix {
+	return SizeMix{
+		Sizes:   []int{64, 128, 256, 512, 1024, 1500},
+		Weights: []float64{0.45, 0.08, 0.04, 0.03, 0.05, 0.35},
+	}
+}
+
+// Sample draws a packet size from the mix.
+func (m SizeMix) Sample(rng *rand.Rand) int {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range m.Weights {
+		if r < w {
+			return m.Sizes[i]
+		}
+		r -= w
+	}
+	return m.Sizes[len(m.Sizes)-1]
+}
+
+// MeanWireLen returns the mix's expected frame size.
+func (m SizeMix) MeanWireLen() float64 {
+	total, acc := 0.0, 0.0
+	for i, w := range m.Weights {
+		total += w
+		acc += w * float64(m.Sizes[i])
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
+// FlowGen produces packets of one tenant's synthetic flows.
+type FlowGen struct {
+	rng    *rand.Rand
+	tenant uint32
+	dstVIP uint32
+	flows  []packet.FiveTuple
+}
+
+// NewFlowGen creates a generator with nFlows distinct five-tuples toward
+// the tenant's virtual IP.
+func NewFlowGen(rng *rand.Rand, tenant uint32, dstVIP uint32, nFlows int) *FlowGen {
+	g := &FlowGen{rng: rng, tenant: tenant, dstVIP: dstVIP}
+	for i := 0; i < nFlows; i++ {
+		g.flows = append(g.flows, packet.FiveTuple{
+			SrcIP:   packet.IPv4Addr(10, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(1+rng.Intn(254))),
+			DstIP:   dstVIP,
+			Proto:   packet.ProtoTCP,
+			SrcPort: uint16(1024 + rng.Intn(60000)),
+			DstPort: 80,
+		})
+	}
+	return g
+}
+
+// Next produces one packet from a random flow with the given wire length.
+func (g *FlowGen) Next(wireLen int) *packet.Packet {
+	ft := g.flows[g.rng.Intn(len(g.flows))]
+	return packet.NewBuilder().
+		WithTenant(g.tenant).
+		WithIPv4(ft.SrcIP, ft.DstIP).
+		WithTCP(ft.SrcPort, ft.DstPort).
+		WithWireLen(wireLen).
+		Build()
+}

@@ -1,0 +1,160 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+)
+
+func TestGenChainsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	chains := GenChains(rng, 50, ChainParams{})
+	if len(chains) != 50 {
+		t.Fatalf("got %d chains", len(chains))
+	}
+	lenSum := 0
+	for _, c := range chains {
+		if c.ID < 1 || c.ID > 50 {
+			t.Errorf("chain ID %d out of range", c.ID)
+		}
+		if c.BandwidthGbps <= 0 || c.BandwidthGbps > 60 {
+			t.Errorf("bandwidth %v outside (0, 60]", c.BandwidthGbps)
+		}
+		lenSum += c.Len()
+		for _, b := range c.NFs {
+			if b.Type < 1 || b.Type > nf.TypeCount {
+				t.Errorf("type %d out of range", b.Type)
+			}
+			if b.Rules < 100 || b.Rules > 2100 {
+				t.Errorf("rules %d outside [100, 2100]", b.Rules)
+			}
+		}
+	}
+	avg := float64(lenSum) / 50
+	if avg < 4 || avg > 6 {
+		t.Errorf("average length %v, want ≈5", avg)
+	}
+}
+
+func TestGenChainsDeterministic(t *testing.T) {
+	a := GenChains(rand.New(rand.NewSource(7)), 10, ChainParams{})
+	b := GenChains(rand.New(rand.NewSource(7)), 10, ChainParams{})
+	for i := range a {
+		if a[i].BandwidthGbps != b[i].BandwidthGbps || a[i].Len() != b[i].Len() {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c := GenChains(rand.New(rand.NewSource(8)), 10, ChainParams{})
+	same := true
+	for i := range a {
+		if a[i].BandwidthGbps != c[i].BandwidthGbps {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical bandwidths")
+	}
+}
+
+func TestGenChainsFixedLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	chains := GenChainsFixedLen(rng, 15, 8, ChainParams{})
+	for _, c := range chains {
+		if c.Len() != 8 {
+			t.Errorf("chain %d length %d, want 8", c.ID, c.Len())
+		}
+	}
+}
+
+func TestParetoLongTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	sum, over := 0.0, 0
+	for i := 0; i < n; i++ {
+		v := Pareto(rng, 1.8, 4, 60)
+		if v < 4 || v > 60 {
+			t.Fatalf("sample %v outside [4, 60]", v)
+		}
+		sum += v
+		if v > 20 {
+			over++
+		}
+	}
+	mean := sum / float64(n)
+	if mean < 7 || mean < 4 || mean > 12 {
+		t.Errorf("mean %v, want ≈9", mean)
+	}
+	// Long tail: a visible minority of heavy chains.
+	frac := float64(over) / float64(n)
+	if frac < 0.02 || frac > 0.25 {
+		t.Errorf("heavy-tail fraction %v implausible", frac)
+	}
+}
+
+func TestToSFC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	chains := GenChains(rng, 3, ChainParams{})
+	for _, c := range chains {
+		s := ToSFC(rng, c, 50)
+		if s.Tenant != uint32(c.ID) || len(s.NFs) != c.Len() {
+			t.Fatalf("SFC shape mismatch")
+		}
+		for j, cfg := range s.NFs {
+			if int(cfg.Type) != c.NFs[j].Type {
+				t.Errorf("NF %d type mismatch", j)
+			}
+			if len(cfg.Rules) > 50 {
+				t.Errorf("rules not capped: %d", len(cfg.Rules))
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("NF %d config invalid: %v", j, err)
+			}
+		}
+	}
+}
+
+func TestIMCMixShape(t *testing.T) {
+	mix := IMCMix()
+	rng := rand.New(rand.NewSource(5))
+	counts := map[int]int{}
+	n := 10000
+	for i := 0; i < n; i++ {
+		counts[mix.Sample(rng)]++
+	}
+	small := float64(counts[64]) / float64(n)
+	large := float64(counts[1500]) / float64(n)
+	if small < 0.35 || small > 0.55 {
+		t.Errorf("small fraction %v, want ≈0.45", small)
+	}
+	if large < 0.25 || large > 0.45 {
+		t.Errorf("large fraction %v, want ≈0.35", large)
+	}
+	if m := mix.MeanWireLen(); m < 300 || m > 900 {
+		t.Errorf("mean wire length %v implausible", m)
+	}
+}
+
+func TestFlowGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	vip := packet.IPv4Addr(20, 0, 0, 1)
+	g := NewFlowGen(rng, 42, vip, 16)
+	seen := map[packet.FiveTuple]bool{}
+	for i := 0; i < 200; i++ {
+		p := g.Next(256)
+		if p.Meta.TenantID != 42 {
+			t.Fatalf("tenant = %d", p.Meta.TenantID)
+		}
+		if p.IPv4.Dst != vip {
+			t.Fatalf("dst = %v", p.IPv4.Dst)
+		}
+		if p.WireLen() != 256 {
+			t.Fatalf("wire len = %d", p.WireLen())
+		}
+		seen[p.FiveTuple()] = true
+	}
+	if len(seen) < 8 || len(seen) > 16 {
+		t.Errorf("distinct flows = %d, want within (8, 16]", len(seen))
+	}
+}

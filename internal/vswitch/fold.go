@@ -1,0 +1,88 @@
+package vswitch
+
+import (
+	"errors"
+	"fmt"
+
+	"sfp/internal/nf"
+)
+
+// ErrTooManyPasses reports a chain that cannot fold into the allowed number
+// of recirculation passes.
+var ErrTooManyPasses = errors.New("chain does not fit in allowed passes")
+
+// Fold computes the first-fit logical-to-physical assignment of §IV:
+// starting from the first NF in the chain and the first stage in the
+// pipeline, each NF lands on the nearest following stage hosting a physical
+// NF of its type; when no such stage remains in the current pass, currPass
+// advances and the scan restarts from stage 0.
+//
+// layout[s] lists the NF types installed on stage s. The returned placements
+// are one per chain NF, in order, with strictly increasing virtual stage
+// index (pass·S + stage).
+func Fold(layout [][]nf.Type, chain []nf.Type, maxPasses int) ([]Placement, error) {
+	if maxPasses <= 0 {
+		maxPasses = 1
+	}
+	S := len(layout)
+	if S == 0 {
+		return nil, errors.New("vswitch: empty pipeline")
+	}
+	has := func(stage int, t nf.Type) bool {
+		for _, x := range layout[stage] {
+			if x == t {
+				return true
+			}
+		}
+		return false
+	}
+	// Fast infeasibility check: a type absent from every stage can never be
+	// placed, regardless of passes.
+	for _, t := range chain {
+		found := false
+		for s := 0; s < S && !found; s++ {
+			found = has(s, t)
+		}
+		if !found {
+			return nil, fmt.Errorf("vswitch: no physical %v anywhere in the pipeline", t)
+		}
+	}
+
+	placements := make([]Placement, 0, len(chain))
+	currPass, cursor := 0, 0
+	for j, t := range chain {
+		placed := false
+		for !placed {
+			for s := cursor; s < S; s++ {
+				if has(s, t) {
+					placements = append(placements, Placement{NFIndex: j, Type: t, Stage: s, Pass: currPass})
+					cursor = s + 1
+					placed = true
+					break
+				}
+			}
+			if placed {
+				break
+			}
+			currPass++
+			cursor = 0
+			if currPass >= maxPasses {
+				return nil, fmt.Errorf("%w: NF %d (%v) needs pass %d, max %d",
+					ErrTooManyPasses, j, t, currPass+1, maxPasses)
+			}
+		}
+	}
+	return placements, nil
+}
+
+// PassesOf returns the number of pipeline traversals a placement sequence
+// implies (R+1), or 0 for an empty sequence.
+func PassesOf(placements []Placement) int {
+	passes := 0
+	for _, p := range placements {
+		if p.Pass+1 > passes {
+			passes = p.Pass + 1
+		}
+	}
+	return passes
+}

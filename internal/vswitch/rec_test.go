@@ -1,0 +1,73 @@
+package vswitch
+
+import (
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+)
+
+func TestCatchAllRecirculation(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 2
+	cfg.MaxPasses = 3
+	v := New(pipeline.New(cfg))
+	v.InstallPhysicalNF(0, nf.NAT, 100)
+	v.InstallPhysicalNF(1, nf.Firewall, 100)
+	// Chain FW then NAT: FW@1 pass0, NAT@0 pass1.
+	sfc := &SFC{Tenant: 7, BandwidthGbps: 1, NFs: []*nf.Config{
+		{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+			Matches: []pipeline.Match{pipeline.Eq(1234), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+			Action:  "permit",
+		}}},
+		{Type: nf.NAT, Rules: []nf.ConfigRule{{
+			Matches: []pipeline.Match{pipeline.Eq(99), pipeline.Eq(99)},
+			Action:  "snat", Params: []uint64{1, 1},
+		}}},
+	}}
+	alloc, err := v.Allocate(sfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Passes != 2 {
+		t.Fatalf("passes = %d", alloc.Passes)
+	}
+	// Packet missing ALL tenant rules must still recirculate (catch-all).
+	p := packet.NewBuilder().WithTenant(7).WithIPv4(5, 6).WithTCP(1, 2).Build()
+	res := v.Process(p, 0)
+	if res.Passes != 2 {
+		t.Fatalf("packet passes = %d, want 2", res.Passes)
+	}
+}
+
+func TestEmptyLeadingPassSteering(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 2
+	cfg.MaxPasses = 3
+	v := New(pipeline.New(cfg))
+	v.InstallPhysicalNF(0, nf.Firewall, 100)
+	// Control plane pins the single NF to pass 1 (virtual stage 2): pass 0
+	// holds nothing, so a steering catch-all must carry the packet through.
+	sfc := &SFC{Tenant: 8, BandwidthGbps: 1, NFs: []*nf.Config{
+		{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+			Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+			Action:  "deny",
+		}}},
+	}}
+	alloc, err := v.AllocateAt(sfc, []Placement{{NFIndex: 0, Type: nf.Firewall, Stage: 0, Pass: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Passes != 2 {
+		t.Fatalf("passes = %d, want 2", alloc.Passes)
+	}
+	p := packet.NewBuilder().WithTenant(8).WithIPv4(5, 6).WithTCP(1, 2).Build()
+	res := v.Process(p, 0)
+	if res.Passes != 2 {
+		t.Errorf("packet passes = %d, want 2 (leading-pass steering)", res.Passes)
+	}
+	if !p.Meta.Drop {
+		t.Error("pass-1 firewall rule did not apply")
+	}
+}

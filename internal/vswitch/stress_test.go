@@ -1,0 +1,129 @@
+package vswitch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/traffic"
+	"sfp/internal/vswitch"
+)
+
+// TestChurnUnderTraffic interleaves tenant allocation/deallocation with
+// packet processing for many rounds: the switch must never leak entries or
+// bandwidth, and surviving tenants' traffic must keep matching their rules
+// throughout the churn.
+func TestChurnUnderTraffic(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxPasses = 4
+	v := vswitch.New(pipeline.New(cfg))
+
+	// One physical NF of every type spread across stages.
+	for i, typ := range nf.AllTypes() {
+		if _, err := v.InstallPhysicalNF(i%cfg.Stages, typ, 4000); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	live := map[uint32]*vswitch.Allocation{}
+	nextTenant := uint32(1)
+
+	for round := 0; round < 200; round++ {
+		switch {
+		case len(live) < 3 || rng.Intn(3) > 0:
+			// Arrival.
+			chains := traffic.GenChains(rng, 1, traffic.ChainParams{MeanLen: 3, RuleMin: 3, RuleMax: 10})
+			chains[0].ID = int(nextTenant)
+			chains[0].BandwidthGbps = 1
+			sfc := traffic.ToSFC(rng, chains[0], 10)
+			alloc, err := v.Allocate(sfc)
+			if err != nil {
+				// Resource exhaustion under churn is legal; the switch
+				// state must simply stay consistent.
+				break
+			}
+			live[sfc.Tenant] = alloc
+			nextTenant++
+		default:
+			// Departure of a random live tenant.
+			for tenant := range live {
+				if err := v.Deallocate(tenant); err != nil {
+					t.Fatalf("round %d: dealloc %d: %v", round, tenant, err)
+				}
+				delete(live, tenant)
+				break
+			}
+		}
+
+		// Traffic for every live tenant must traverse with its allocated
+		// pass count; departed tenants' traffic must be untouched.
+		for tenant, alloc := range live {
+			p := packet.NewBuilder().
+				WithTenant(tenant).
+				WithIPv4(packet.IPv4Addr(10, 0, 0, 1), packet.IPv4Addr(10, 0, 0, 2)).
+				WithTCP(uint16(1000+tenant), 80).
+				Build()
+			res := v.Process(p, float64(round)*1e6)
+			if res.Passes != alloc.Passes {
+				t.Fatalf("round %d tenant %d: %d passes, want %d", round, tenant, res.Passes, alloc.Passes)
+			}
+		}
+		ghost := packet.NewBuilder().WithTenant(0xfffe).WithIPv4(1, 2).WithTCP(1, 2).Build()
+		if res := v.Process(ghost, 0); res.TablesApplied != 0 {
+			t.Fatalf("round %d: unallocated tenant matched %d tables", round, res.TablesApplied)
+		}
+	}
+
+	// Drain: after everyone leaves, the switch is pristine.
+	for tenant := range live {
+		if err := v.Deallocate(tenant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Pipe.EntriesUsed() != 0 {
+		t.Errorf("entries leaked: %d", v.Pipe.EntriesUsed())
+	}
+	if v.BandwidthUsed() != 0 {
+		t.Errorf("bandwidth leaked: %v", v.BandwidthUsed())
+	}
+	if v.Tenants() != 0 {
+		t.Errorf("tenants leaked: %d", v.Tenants())
+	}
+}
+
+// TestAllocationBandwidthNeverExceedsCapacity is a churn property: at no
+// point may the switch's committed bandwidth exceed the configured C.
+func TestAllocationBandwidthNeverExceedsCapacity(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.CapacityGbps = 40
+	cfg.MaxPasses = 3
+	v := vswitch.New(pipeline.New(cfg))
+	for i, typ := range nf.AllTypes() {
+		if _, err := v.InstallPhysicalNF(i%cfg.Stages, typ, 2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(23))
+	tenant := uint32(1)
+	for round := 0; round < 100; round++ {
+		chains := traffic.GenChains(rng, 1, traffic.ChainParams{MeanLen: 3, RuleMin: 2, RuleMax: 6})
+		chains[0].ID = int(tenant)
+		sfc := traffic.ToSFC(rng, chains[0], 6)
+		sfc.BandwidthGbps = 1 + rng.Float64()*10
+		if _, err := v.Allocate(sfc); err == nil {
+			tenant++
+		}
+		if v.BandwidthUsed() > cfg.CapacityGbps {
+			t.Fatalf("round %d: committed %v > C=%v", round, v.BandwidthUsed(), cfg.CapacityGbps)
+		}
+		if rng.Intn(4) == 0 && tenant > 1 {
+			victim := uint32(1 + rng.Intn(int(tenant-1)))
+			if v.Allocations(victim) != nil {
+				v.Deallocate(victim)
+			}
+		}
+	}
+}

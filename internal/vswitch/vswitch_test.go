@@ -1,0 +1,403 @@
+package vswitch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+)
+
+// fig3Switch builds the paper's Fig. 3 toy pipeline: 3 stages hosting
+// TC (stage 0), FW (stage 1), LB (stage 2).
+func fig3Switch(t *testing.T) *VSwitch {
+	t.Helper()
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	cfg.MaxPasses = 3
+	v := New(pipeline.New(cfg))
+	for _, in := range []struct {
+		stage int
+		typ   nf.Type
+	}{
+		{0, nf.TrafficClassifier}, {1, nf.Firewall}, {2, nf.LoadBalancer},
+	} {
+		if _, err := v.InstallPhysicalNF(in.stage, in.typ, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v
+}
+
+func permitAll() *nf.Config {
+	return &nf.Config{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+		Action:  "permit",
+	}}}
+}
+
+func classAll(class uint64) *nf.Config {
+	return &nf.Config{Type: nf.TrafficClassifier, Rules: []nf.ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Between(0, 65535)},
+		Action:  "set_class", Params: []uint64{class},
+	}}}
+}
+
+func lbTo(vip uint32, port uint16, backend uint32) *nf.Config {
+	return &nf.Config{Type: nf.LoadBalancer, Rules: []nf.ConfigRule{{
+		Matches: []pipeline.Match{pipeline.Eq(uint64(vip)), pipeline.Eq(uint64(port))},
+		Action:  "dnat", Params: []uint64{uint64(backend), 0},
+	}}}
+}
+
+func TestFoldFig3(t *testing.T) {
+	layout := [][]nf.Type{{nf.TrafficClassifier}, {nf.Firewall}, {nf.LoadBalancer}}
+
+	// SFC 1: TC, FW, LB — fits in one pass.
+	p1, err := Fold(layout, []nf.Type{nf.TrafficClassifier, nf.Firewall, nf.LoadBalancer}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PassesOf(p1) != 1 {
+		t.Errorf("SFC1 passes = %d, want 1", PassesOf(p1))
+	}
+
+	// SFC 2: FW, LB, TC — FW,LB in pass 0, TC folds into pass 1.
+	p2, err := Fold(layout, []nf.Type{nf.Firewall, nf.LoadBalancer, nf.TrafficClassifier}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PassesOf(p2) != 2 {
+		t.Errorf("SFC2 passes = %d, want 2", PassesOf(p2))
+	}
+	want := []Placement{
+		{NFIndex: 0, Type: nf.Firewall, Stage: 1, Pass: 0},
+		{NFIndex: 1, Type: nf.LoadBalancer, Stage: 2, Pass: 0},
+		{NFIndex: 2, Type: nf.TrafficClassifier, Stage: 0, Pass: 1},
+	}
+	for i, w := range want {
+		if p2[i] != w {
+			t.Errorf("placement %d = %+v, want %+v", i, p2[i], w)
+		}
+	}
+}
+
+func TestFoldMissingType(t *testing.T) {
+	layout := [][]nf.Type{{nf.Firewall}}
+	if _, err := Fold(layout, []nf.Type{nf.Router}, 5); err == nil {
+		t.Error("Fold placed a type with no physical instance")
+	}
+}
+
+func TestFoldTooManyPasses(t *testing.T) {
+	// Chain LB,FW on layout FW(0),LB(1) needs 2 passes; cap at 1.
+	layout := [][]nf.Type{{nf.Firewall}, {nf.LoadBalancer}}
+	if _, err := Fold(layout, []nf.Type{nf.LoadBalancer, nf.Firewall}, 1); err == nil {
+		t.Error("Fold exceeded pass cap")
+	}
+	if _, err := Fold(layout, []nf.Type{nf.LoadBalancer, nf.Firewall}, 2); err != nil {
+		t.Errorf("Fold failed within pass cap: %v", err)
+	}
+}
+
+func TestFoldRepeatedTypes(t *testing.T) {
+	// FW,FW on a single-FW pipeline folds into two passes.
+	layout := [][]nf.Type{{nf.Firewall}}
+	pls, err := Fold(layout, []nf.Type{nf.Firewall, nf.Firewall}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PassesOf(pls) != 2 || pls[0].Pass != 0 || pls[1].Pass != 1 {
+		t.Errorf("placements = %+v", pls)
+	}
+}
+
+// Property: Fold output is always one placement per chain NF, with strictly
+// increasing virtual stage index, each on a stage hosting the type.
+func TestFoldProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		S := 2 + r.Intn(8)
+		layout := make([][]nf.Type, S)
+		all := nf.AllTypes()
+		for s := range layout {
+			n := 1 + r.Intn(3)
+			for i := 0; i < n; i++ {
+				layout[s] = append(layout[s], all[r.Intn(len(all))])
+			}
+		}
+		chainLen := 1 + r.Intn(8)
+		chain := make([]nf.Type, chainLen)
+		for i := range chain {
+			chain[i] = all[r.Intn(len(all))]
+		}
+		maxPasses := 1 + r.Intn(6)
+		pls, err := Fold(layout, chain, maxPasses)
+		if err != nil {
+			return true // infeasible is a valid outcome
+		}
+		if len(pls) != chainLen {
+			return false
+		}
+		prev := -1
+		for i, p := range pls {
+			if p.Type != chain[i] || p.Pass >= maxPasses {
+				return false
+			}
+			virt := p.Pass*S + p.Stage
+			if virt <= prev {
+				return false
+			}
+			prev = virt
+			found := false
+			for _, x := range layout[p.Stage] {
+				if x == p.Type {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstallPhysicalNFDuplicate(t *testing.T) {
+	v := fig3Switch(t)
+	if _, err := v.InstallPhysicalNF(0, nf.TrafficClassifier, 100); err == nil {
+		t.Error("duplicate physical NF accepted")
+	}
+	if _, err := v.InstallPhysicalNF(99, nf.Firewall, 100); err == nil {
+		t.Error("out-of-range stage accepted")
+	}
+}
+
+func TestAllocateEndToEnd(t *testing.T) {
+	v := fig3Switch(t)
+	vip := packet.IPv4Addr(20, 0, 0, 1)
+	backend1 := packet.IPv4Addr(10, 0, 0, 1)
+	backend2 := packet.IPv4Addr(10, 0, 0, 2)
+
+	// Tenant 1: TC, FW, LB — one pass.
+	sfc1 := &SFC{Tenant: 1, BandwidthGbps: 10, NFs: []*nf.Config{classAll(4), permitAll(), lbTo(vip, 80, backend1)}}
+	a1, err := v.Allocate(sfc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Passes != 1 {
+		t.Errorf("SFC1 passes = %d, want 1", a1.Passes)
+	}
+
+	// Tenant 2: FW, LB, TC — two passes (the Fig. 3 folding case).
+	sfc2 := &SFC{Tenant: 2, BandwidthGbps: 10, NFs: []*nf.Config{permitAll(), lbTo(vip, 80, backend2), classAll(7)}}
+	a2, err := v.Allocate(sfc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Passes != 2 {
+		t.Errorf("SFC2 passes = %d, want 2", a2.Passes)
+	}
+	if got := v.BandwidthUsed(); got != 1*10+2*10 {
+		t.Errorf("bandwidth used = %v, want 30", got)
+	}
+
+	// Tenant 1 packet: classified, permitted, load-balanced in one pass.
+	p1 := packet.NewBuilder().WithTenant(1).WithIPv4(packet.IPv4Addr(1, 1, 1, 1), vip).WithTCP(1234, 80).Build()
+	r1 := v.Process(p1, 0)
+	if r1.Passes != 1 {
+		t.Errorf("tenant1 packet passes = %d, want 1", r1.Passes)
+	}
+	if p1.Meta.ClassID != 4 {
+		t.Errorf("tenant1 class = %d, want 4", p1.Meta.ClassID)
+	}
+	if p1.IPv4.Dst != backend1 {
+		t.Errorf("tenant1 dst = %s, want backend1", packet.FormatIPv4(p1.IPv4.Dst))
+	}
+
+	// Tenant 2 packet: recirculates once; TC applies on pass 1.
+	p2 := packet.NewBuilder().WithTenant(2).WithIPv4(packet.IPv4Addr(2, 2, 2, 2), vip).WithTCP(4321, 80).Build()
+	r2 := v.Process(p2, 0)
+	if r2.Passes != 2 {
+		t.Errorf("tenant2 packet passes = %d, want 2", r2.Passes)
+	}
+	if p2.IPv4.Dst != backend2 {
+		t.Errorf("tenant2 dst = %s, want backend2 (isolation breach?)", packet.FormatIPv4(p2.IPv4.Dst))
+	}
+	if p2.Meta.ClassID != 7 {
+		t.Errorf("tenant2 class = %d, want 7 (second-pass TC)", p2.Meta.ClassID)
+	}
+
+	// A tenant with no allocation passes through untouched.
+	p3 := packet.NewBuilder().WithTenant(9).WithIPv4(packet.IPv4Addr(3, 3, 3, 3), vip).WithTCP(5555, 80).Build()
+	r3 := v.Process(p3, 0)
+	if r3.Passes != 1 || p3.IPv4.Dst != vip || p3.Meta.ClassID != 0 {
+		t.Error("unallocated tenant's packet was modified")
+	}
+}
+
+func TestAllocateDuplicateTenant(t *testing.T) {
+	v := fig3Switch(t)
+	sfc := &SFC{Tenant: 1, BandwidthGbps: 1, NFs: []*nf.Config{permitAll()}}
+	if _, err := v.Allocate(sfc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Allocate(sfc); err == nil {
+		t.Error("double allocation accepted")
+	}
+}
+
+func TestAllocateCapacityGuard(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	cfg.CapacityGbps = 25
+	v := New(pipeline.New(cfg))
+	if _, err := v.InstallPhysicalNF(0, nf.Firewall, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Allocate(&SFC{Tenant: 1, BandwidthGbps: 20, NFs: []*nf.Config{permitAll()}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Allocate(&SFC{Tenant: 2, BandwidthGbps: 20, NFs: []*nf.Config{permitAll()}}); err == nil {
+		t.Error("allocation beyond backplane capacity accepted")
+	}
+}
+
+func TestDeallocateReleasesEverything(t *testing.T) {
+	v := fig3Switch(t)
+	vip := packet.IPv4Addr(20, 0, 0, 1)
+	sfc := &SFC{Tenant: 5, BandwidthGbps: 10, NFs: []*nf.Config{
+		permitAll(), lbTo(vip, 80, packet.IPv4Addr(10, 0, 0, 9)), classAll(2),
+	}}
+	if _, err := v.Allocate(sfc); err != nil {
+		t.Fatal(err)
+	}
+	entriesBefore := v.Pipe.EntriesUsed()
+	if entriesBefore == 0 {
+		t.Fatal("no entries installed")
+	}
+	if err := v.Deallocate(5); err != nil {
+		t.Fatal(err)
+	}
+	if v.Pipe.EntriesUsed() != 0 {
+		t.Errorf("entries after dealloc = %d, want 0", v.Pipe.EntriesUsed())
+	}
+	if v.BandwidthUsed() != 0 {
+		t.Errorf("bandwidth after dealloc = %v, want 0", v.BandwidthUsed())
+	}
+	if err := v.Deallocate(5); err == nil {
+		t.Error("double deallocation accepted")
+	}
+	// Departed tenant's packets now pass through untouched.
+	p := packet.NewBuilder().WithTenant(5).WithIPv4(1, vip).WithTCP(1, 80).Build()
+	v.Process(p, 0)
+	if p.IPv4.Dst != vip || p.Meta.ClassID != 0 {
+		t.Error("departed tenant's rules still active")
+	}
+}
+
+func TestAllocateRollbackOnCapacityExhaustion(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	v := New(pipeline.New(cfg))
+	// FW table can hold only 1 rule; TC is roomy.
+	if _, err := v.InstallPhysicalNF(0, nf.TrafficClassifier, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.InstallPhysicalNF(1, nf.Firewall, 1); err != nil {
+		t.Fatal(err)
+	}
+	fw2 := permitAll()
+	fw2.Rules = append(fw2.Rules, fw2.Rules[0]) // 2 rules > capacity 1
+	sfc := &SFC{Tenant: 3, BandwidthGbps: 1, NFs: []*nf.Config{classAll(1), fw2}}
+	if _, err := v.Allocate(sfc); err == nil {
+		t.Fatal("allocation should fail on FW capacity")
+	}
+	if v.Pipe.EntriesUsed() != 0 {
+		t.Errorf("rollback left %d entries installed", v.Pipe.EntriesUsed())
+	}
+	if v.Allocations(3) != nil || v.BandwidthUsed() != 0 {
+		t.Error("rollback left allocation state")
+	}
+}
+
+func TestAllocateAtValidation(t *testing.T) {
+	v := fig3Switch(t)
+	sfc := &SFC{Tenant: 1, BandwidthGbps: 1, NFs: []*nf.Config{permitAll(), classAll(1)}}
+	// Non-increasing virtual stages must be rejected.
+	bad := []Placement{
+		{NFIndex: 0, Type: nf.Firewall, Stage: 1, Pass: 0},
+		{NFIndex: 1, Type: nf.TrafficClassifier, Stage: 1, Pass: 0},
+	}
+	if _, err := v.AllocateAt(sfc, bad); err == nil {
+		t.Error("non-increasing placement accepted")
+	}
+	// Wrong type must be rejected.
+	bad2 := []Placement{
+		{NFIndex: 0, Type: nf.Router, Stage: 1, Pass: 0},
+		{NFIndex: 1, Type: nf.TrafficClassifier, Stage: 0, Pass: 1},
+	}
+	if _, err := v.AllocateAt(sfc, bad2); err == nil {
+		t.Error("type-mismatched placement accepted")
+	}
+	// Placement count mismatch.
+	if _, err := v.AllocateAt(sfc, bad[:1]); err == nil {
+		t.Error("short placement list accepted")
+	}
+	// Pass beyond MaxPasses.
+	bad3 := []Placement{
+		{NFIndex: 0, Type: nf.Firewall, Stage: 1, Pass: 0},
+		{NFIndex: 1, Type: nf.TrafficClassifier, Stage: 0, Pass: 5},
+	}
+	if _, err := v.AllocateAt(sfc, bad3); err == nil {
+		t.Error("pass beyond MaxPasses accepted")
+	}
+}
+
+func TestRemovePhysicalNF(t *testing.T) {
+	v := fig3Switch(t)
+	sfc := &SFC{Tenant: 1, BandwidthGbps: 1, NFs: []*nf.Config{permitAll()}}
+	if _, err := v.Allocate(sfc); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.RemovePhysicalNF(1, nf.Firewall); err == nil {
+		t.Error("removed physical NF holding tenant rules")
+	}
+	v.Deallocate(1)
+	if err := v.RemovePhysicalNF(1, nf.Firewall); err != nil {
+		t.Errorf("remove after dealloc failed: %v", err)
+	}
+	if v.FindPhysical(1, nf.Firewall) != nil {
+		t.Error("physical NF still registered after removal")
+	}
+	if err := v.RemovePhysicalNF(1, nf.Firewall); err == nil {
+		t.Error("double removal accepted")
+	}
+}
+
+func TestMultiTenantIsolationSameNF(t *testing.T) {
+	// Two tenants share the same physical LB but get different backends —
+	// the virtualization core of SFP (Fig. 3's tenant-ID match).
+	v := fig3Switch(t)
+	vip := packet.IPv4Addr(20, 0, 0, 1)
+	b1, b2 := packet.IPv4Addr(10, 0, 1, 1), packet.IPv4Addr(10, 0, 2, 2)
+	for tenant, backend := range map[uint32]uint32{1: b1, 2: b2} {
+		sfc := &SFC{Tenant: tenant, BandwidthGbps: 1, NFs: []*nf.Config{lbTo(vip, 80, backend)}}
+		if _, err := v.Allocate(sfc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tenant, backend := range map[uint32]uint32{1: b1, 2: b2} {
+		p := packet.NewBuilder().WithTenant(tenant).WithIPv4(1, vip).WithTCP(1000, 80).Build()
+		v.Process(p, 0)
+		if p.IPv4.Dst != backend {
+			t.Errorf("tenant %d routed to %s", tenant, packet.FormatIPv4(p.IPv4.Dst))
+		}
+	}
+}
