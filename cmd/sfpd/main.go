@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	sfpd -listen :9559 -stages 8 -blocks 20 -entries 1000 -capacity 400
+//	sfpd -listen :9559 -stages 8 -blocks 20 -entries 1000 -capacity 400 \
+//	     -read-timeout 30s -max-conns 256
+//
+// On SIGINT/SIGTERM the daemon drains: the listener stops accepting,
+// in-flight requests finish and deliver their responses, then it exits
+// (force-closing after -drain-timeout).
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"sfp/internal/p4rt"
 	"sfp/internal/pipeline"
@@ -28,6 +34,13 @@ func main() {
 		entries = flag.Int("entries", 1000, "entries per block")
 		capGbps = flag.Float64("capacity", 400, "backplane capacity Gbps")
 		passes  = flag.Int("max-passes", 4, "maximum recirculation passes")
+
+		readTimeout = flag.Duration("read-timeout", 30*time.Second,
+			"per-frame read deadline; idle or dribbling connections are dropped (0 disables)")
+		maxConns = flag.Int("max-conns", 256,
+			"maximum concurrent control connections; excess accepts are shed (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
+			"how long to let in-flight requests finish on shutdown before force-closing")
 	)
 	flag.Parse()
 
@@ -39,7 +52,10 @@ func main() {
 	cfg.MaxPasses = *passes
 
 	v := vswitch.New(pipeline.New(cfg))
-	srv := p4rt.NewServer(&p4rt.VSwitchTarget{V: v})
+	srv := p4rt.NewServerOptions(&p4rt.VSwitchTarget{V: v}, p4rt.ServerOptions{
+		ReadTimeout: *readTimeout,
+		MaxConns:    *maxConns,
+	})
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfpd:", err)
@@ -51,6 +67,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("sfpd: shutting down")
+	fmt.Println("sfpd: draining in-flight requests")
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sfpd: forced close after drain timeout:", err)
+	}
 	srv.Close()
+	fmt.Println("sfpd: shut down")
 }

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"sfp/internal/model"
@@ -64,6 +65,17 @@ type Options struct {
 	SolverTimeLimit time.Duration
 	// Seed drives the randomized rounding.
 	Seed int64
+	// NoFallback disables the AlgoIP→AlgoApprox→AlgoGreedy degradation
+	// chain: a solver timeout or error then fails the Provision instead
+	// of trying the next-cheaper algorithm.
+	NoFallback bool
+	// IPNoWarmStart disables seeding the IP solver with the greedy
+	// incumbent (reproduces the cold-solver behavior of the Fig. 9
+	// experiment, where tight time limits return nothing).
+	IPNoWarmStart bool
+	// Logf, when set, receives operational log lines (solver fallbacks,
+	// rollbacks). Nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +91,22 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ProvisionInfo records how the last Provision's solve actually ran —
+// in particular whether the graceful-degradation chain kicked in.
+type ProvisionInfo struct {
+	// Requested is the algorithm the Options asked for.
+	Requested Algorithm
+	// Used is the algorithm that produced the installed placement.
+	Used Algorithm
+	// FellBack is true when Used differs from Requested.
+	FellBack bool
+	// SolverStatus is the winning solver's status string.
+	SolverStatus string
+	// Attempts describes each failed solve ("sfp-ip: time limit ..."),
+	// in order, before the winning one.
+	Attempts []string
+}
+
 // Controller is the SFP control plane bound to one data plane.
 type Controller struct {
 	opts Options
@@ -89,6 +117,15 @@ type Controller struct {
 	sfcs map[uint32]*vswitch.SFC
 	// placed tracks tenants currently installed in the data plane.
 	placed map[uint32]bool
+	// lastInfo describes the most recent Provision solve.
+	lastInfo ProvisionInfo
+}
+
+// logf forwards to Options.Logf when set.
+func (c *Controller) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
 }
 
 // New creates a controller with an empty switch.
@@ -131,19 +168,81 @@ func (c *Controller) buildInstance(sfcs []*vswitch.SFC) *model.Instance {
 	return in
 }
 
-// solve runs the configured algorithm.
-func (c *Controller) solve(in *model.Instance) (*placement.Result, error) {
+// solveWith runs one specific algorithm.
+func (c *Controller) solveWith(algo Algorithm, in *model.Instance) (*placement.Result, error) {
 	build := model.BuildOptions{Consolidate: c.opts.Consolidate}
-	switch c.opts.Algorithm {
+	switch algo {
 	case AlgoIP:
-		return placement.SolveIP(in, placement.IPOptions{Build: build, TimeLimit: c.opts.SolverTimeLimit})
+		return placement.SolveIP(in, placement.IPOptions{
+			Build: build, TimeLimit: c.opts.SolverTimeLimit, NoWarmStart: c.opts.IPNoWarmStart,
+		})
 	case AlgoApprox:
 		return placement.SolveApprox(in, placement.ApproxOptions{Build: build, Seed: c.opts.Seed})
 	case AlgoGreedy:
 		return placement.SolveGreedy(in, placement.GreedyOptions{Consolidate: c.opts.Consolidate})
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %v", c.opts.Algorithm)
+	return nil, fmt.Errorf("core: unknown algorithm %v", algo)
 }
+
+// fallbackChain lists the algorithms to try, most to least precise,
+// starting from the requested one.
+func fallbackChain(a Algorithm) []Algorithm {
+	switch a {
+	case AlgoIP:
+		return []Algorithm{AlgoIP, AlgoApprox, AlgoGreedy}
+	case AlgoApprox:
+		return []Algorithm{AlgoApprox, AlgoGreedy}
+	default:
+		return []Algorithm{a}
+	}
+}
+
+// solve runs the configured algorithm with graceful degradation: when a
+// solver errors, proves infeasibility, or hits its time limit with no
+// incumbent (an empty placement), the next-cheaper algorithm in the
+// AlgoIP→AlgoApprox→AlgoGreedy chain takes over instead of failing the
+// whole Provision. The chain taken is recorded in ProvisionInfo.
+func (c *Controller) solve(in *model.Instance) (*placement.Result, ProvisionInfo, error) {
+	info := ProvisionInfo{Requested: c.opts.Algorithm, Used: c.opts.Algorithm}
+	chain := fallbackChain(c.opts.Algorithm)
+	if c.opts.NoFallback {
+		chain = chain[:1]
+	}
+	var lastErr error
+	for i, algo := range chain {
+		res, err := c.solveWith(algo, in)
+		var reason string
+		switch {
+		case err != nil:
+			reason = err.Error()
+			lastErr = err
+		case res.Assignment == nil:
+			reason = fmt.Sprintf("no assignment (%s)", res.Status)
+			lastErr = fmt.Errorf("core: %s produced no assignment (%s)", algo, res.Status)
+		case strings.HasPrefix(res.Status, "limit"):
+			// SolveIP under a time limit with no incumbent reports the
+			// empty placement ("limit(no-incumbent)") — worthless when a
+			// heuristic can do better.
+			reason = "time limit with no incumbent"
+			lastErr = fmt.Errorf("core: %s hit its time limit with no incumbent", algo)
+		default:
+			info.Used = algo
+			info.FellBack = i > 0
+			info.SolverStatus = res.Status
+			if info.FellBack {
+				c.logf("core: solver fallback: %s -> %s after %v", info.Requested, algo, info.Attempts)
+			}
+			return res, info, nil
+		}
+		info.Attempts = append(info.Attempts, fmt.Sprintf("%s: %s", algo, reason))
+		c.logf("core: %s solve failed (%s), trying next solver", algo, reason)
+	}
+	return nil, info, fmt.Errorf("core: all solvers failed: %w", lastErr)
+}
+
+// LastProvision reports how the most recent Provision's solve went
+// (requested vs. used algorithm, fallback attempts).
+func (c *Controller) LastProvision() ProvisionInfo { return c.lastInfo }
 
 // Provision performs the initial joint placement for a batch of tenant
 // SFCs and installs the result on the switch. Tenants the optimizer leaves
@@ -159,30 +258,49 @@ func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
 		return model.Metrics{}, fmt.Errorf("core: already provisioned; use Arrive/Depart")
 	}
 	in := c.buildInstance(sfcs)
-	res, err := c.solve(in)
+	res, info, err := c.solve(in)
 	if err != nil {
 		return model.Metrics{}, err
 	}
-	if res.Assignment == nil {
-		return model.Metrics{}, fmt.Errorf("core: solver produced no assignment (%s)", res.Status)
-	}
-	for _, s := range sfcs {
-		c.sfcs[s.Tenant] = s
-	}
-	if err := c.install(in, res.Assignment, sfcs); err != nil {
+	c.lastInfo = info
+	journal, err := c.install("provision", in, res.Assignment, sfcs)
+	if err != nil {
 		return model.Metrics{}, err
 	}
 	build := model.BuildOptions{Consolidate: c.opts.Consolidate}
 	c.updater, err = placement.NewUpdater(in, res.Assignment, build)
 	if err != nil {
-		return model.Metrics{}, err
+		// The switch is configured but the incremental-update state could
+		// not be built: undo the installs so nothing is stranded.
+		return model.Metrics{}, c.partialFailure("provision", err, journal)
+	}
+	// Commit: tenants become known only once fully realized.
+	for _, s := range sfcs {
+		c.sfcs[s.Tenant] = s
 	}
 	return res.Metrics, nil
 }
 
 // install realizes an assignment on the (empty or partially filled) data
 // plane: physical NFs sized to their assigned rules, then tenant rules.
-func (c *Controller) install(in *model.Instance, a *model.Assignment, sfcs []*vswitch.SFC) error {
+// It is transactional: the full rule plan is staged first, each step is
+// journaled as it applies, and any step failure rolls back this install's
+// already-applied steps (tenant rules, newly created physical NFs) so the
+// data plane is never left half-configured. Failures surface as
+// *PartialFailureError. On success the journal is returned so the caller
+// can extend the transaction (e.g. roll back if a later step fails).
+func (c *Controller) install(op string, in *model.Instance, a *model.Assignment, sfcs []*vswitch.SFC) (*installJournal, error) {
+	journal := &installJournal{}
+	if err := c.apply(in, a, sfcs, journal); err != nil {
+		pf := c.partialFailure(op, err, journal)
+		c.logf("core: %v", pf)
+		return nil, pf
+	}
+	return journal, nil
+}
+
+// apply performs the install steps, recording each in the journal.
+func (c *Controller) apply(in *model.Instance, a *model.Assignment, sfcs []*vswitch.SFC, journal *installJournal) error {
 	S := in.Switch.Stages
 	E := in.Switch.EntriesPerBlock
 
@@ -225,6 +343,8 @@ func (c *Controller) install(in *model.Instance, a *model.Assignment, sfcs []*vs
 			typ := nf.Type(i)
 			if existing := c.v.FindPhysical(s, typ); existing != nil {
 				if capacity > existing.Table.Capacity {
+					// Grows are not journaled: they cannot strand tenant
+					// rules, and spare capacity after a rollback is benign.
 					if err := c.v.Pipe.Stages[s].GrowTable(existing.Table.Name, capacity); err != nil {
 						return err
 					}
@@ -234,6 +354,7 @@ func (c *Controller) install(in *model.Instance, a *model.Assignment, sfcs []*vs
 			if _, err := c.v.InstallPhysicalNF(s, typ, capacity); err != nil {
 				return err
 			}
+			journal.physical = append(journal.physical, StagedNF{Stage: s, Type: typ})
 		}
 	}
 	// Install tenant rules at the optimizer's placements.
@@ -262,6 +383,7 @@ func (c *Controller) install(in *model.Instance, a *model.Assignment, sfcs []*vs
 			return fmt.Errorf("core: installing tenant %d: %w", sfc.Tenant, err)
 		}
 		c.placed[sfc.Tenant] = true
+		journal.tenants = append(journal.tenants, sfc.Tenant)
 	}
 	return nil
 }
@@ -317,10 +439,28 @@ func (c *Controller) Arrive(sfc *vswitch.SFC) (bool, error) {
 		}
 		_ = l
 	}
-	if err := c.install(in, a, newSFCs); err != nil {
+	if _, err := c.install("arrive", in, a, newSFCs); err != nil {
+		// The data plane was rolled back by install; also erase the
+		// arrival from the planner and the tenant registry so the whole
+		// controller forgets it, as if Arrive was never called. Earlier
+		// waiting candidates the replan admitted stay known and will be
+		// retried by the next replan.
+		c.updater.Withdraw(int(sfc.Tenant))
+		delete(c.sfcs, sfc.Tenant)
 		return false, err
 	}
 	return c.placed[sfc.Tenant], nil
+}
+
+// Snapshot exposes the planner's current instance, assignment, and
+// metrics (observability: cross-check the data plane against the model,
+// e.g. with model.Verify).
+func (c *Controller) Snapshot() (*model.Instance, *model.Assignment, model.Metrics, error) {
+	if c.updater == nil {
+		return nil, nil, model.Metrics{}, fmt.Errorf("core: not provisioned")
+	}
+	in, a, m := c.updater.Current()
+	return in, a, m, nil
 }
 
 // Metrics returns the current placement metrics.
@@ -355,7 +495,7 @@ func (c *Controller) ReconfigureIfStale(threshold float64) (bool, error) {
 	for _, s := range c.sfcs {
 		all = append(all, s)
 	}
-	if err := c.install(in, a, all); err != nil {
+	if _, err := c.install("reconfigure", in, a, all); err != nil {
 		return true, err
 	}
 	return true, nil

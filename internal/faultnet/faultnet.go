@@ -1,0 +1,252 @@
+// Package faultnet injects deterministic, seed-driven faults into the
+// control-plane transport so the p4rt client/server hardening and the
+// core rollback paths can be tested against an unreliable network
+// without flaky, timing-dependent tests.
+//
+// A Schedule is a set of one-shot faults, each addressed by (connection
+// index, direction, operation index): "on the 3rd accepted connection,
+// reset on the 2nd write". Wrap a net.Conn, a net.Listener (server
+// side), or a dial function (client side) with a shared Schedule; faults
+// fire exactly once, in whatever order the wrapped traffic reaches them.
+// Everything is driven by explicit fault lists or a seeded generator —
+// two runs with the same seed inject identically.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every transport error this package injects,
+// so tests can errors.Is-assert a failure was ours and not a real one.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Op selects the direction an operation count applies to.
+type Op int
+
+// Directions.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+// Fault kinds.
+const (
+	// Reset closes the underlying connection and fails the operation,
+	// modeling an abrupt connection reset.
+	Reset Kind = iota
+	// Stall sleeps Delay before performing the operation, modeling a
+	// hung peer; with a deadline set, the operation then times out.
+	Stall
+	// Truncate (write side) emits only Bytes bytes of the buffer and
+	// then closes the connection, modeling a mid-frame cut. On the read
+	// side it behaves like Reset.
+	Truncate
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Reset:
+		return "reset"
+	case Stall:
+		return "stall"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled one-shot fault.
+type Fault struct {
+	// Conn is the 0-based index of the wrapped connection (accept or
+	// dial order within the Schedule).
+	Conn int
+	// Op is the direction whose operation count triggers the fault.
+	Op Op
+	// Index is the 0-based operation count within that direction.
+	Index int
+	// Kind is what happens.
+	Kind Kind
+	// Delay is the Stall duration.
+	Delay time.Duration
+	// Bytes is how many bytes a Truncate lets through.
+	Bytes int
+}
+
+// Schedule is a concurrency-safe set of one-shot faults shared by all
+// connections of one wrapped endpoint.
+type Schedule struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  []bool
+	conns  int
+}
+
+// NewSchedule builds a schedule from explicit faults.
+func NewSchedule(faults ...Fault) *Schedule {
+	return &Schedule{faults: faults, fired: make([]bool, len(faults))}
+}
+
+// Random draws n faults uniformly over the first conns connections and
+// the first ops operations of each direction. Stalls sleep stall;
+// truncations cut after 1–5 bytes. The same seed yields the same faults.
+func Random(seed int64, n, conns, ops int, stall time.Duration) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = Fault{
+			Conn:  rng.Intn(conns),
+			Op:    Op(rng.Intn(2)),
+			Index: rng.Intn(ops),
+			Kind:  Kind(rng.Intn(3)),
+			Delay: stall,
+			Bytes: 1 + rng.Intn(5),
+		}
+	}
+	return NewSchedule(faults...)
+}
+
+// Fired reports how many faults have triggered so far.
+func (s *Schedule) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.fired {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// nextConn assigns the next connection index.
+func (s *Schedule) nextConn() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := s.conns
+	s.conns++
+	return idx
+}
+
+// take fires and returns the matching un-fired fault, if any.
+func (s *Schedule) take(conn int, op Op, index int) *Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.faults {
+		if !s.fired[i] && f.Conn == conn && f.Op == op && f.Index == index {
+			s.fired[i] = true
+			return &s.faults[i]
+		}
+	}
+	return nil
+}
+
+// Conn wraps a net.Conn with fault injection.
+type Conn struct {
+	net.Conn
+	sched  *Schedule
+	idx    int
+	reads  int
+	writes int
+}
+
+// WrapConn attaches a connection to a schedule, assigning it the next
+// connection index.
+func WrapConn(c net.Conn, s *Schedule) *Conn {
+	return &Conn{Conn: c, sched: s, idx: s.nextConn()}
+}
+
+// injected formats the error for a fired fault.
+func (c *Conn) injected(f *Fault) error {
+	return fmt.Errorf("conn %d %s %d: %s: %w", c.idx, f.Op, f.Index, f.Kind, ErrInjected)
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	f := c.sched.take(c.idx, OpRead, c.reads)
+	c.reads++
+	if f != nil {
+		switch f.Kind {
+		case Stall:
+			time.Sleep(f.Delay)
+		default: // Reset, Truncate
+			c.Conn.Close()
+			return 0, c.injected(f)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	f := c.sched.take(c.idx, OpWrite, c.writes)
+	c.writes++
+	if f != nil {
+		switch f.Kind {
+		case Stall:
+			time.Sleep(f.Delay)
+		case Truncate:
+			n := f.Bytes
+			if n > len(p) {
+				n = len(p)
+			}
+			if n > 0 {
+				c.Conn.Write(p[:n])
+			}
+			c.Conn.Close()
+			return n, c.injected(f)
+		default: // Reset
+			c.Conn.Close()
+			return 0, c.injected(f)
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection injects
+// faults from the schedule (server-side injection).
+type Listener struct {
+	net.Listener
+	sched *Schedule
+}
+
+// NewListener wraps an inner listener.
+func NewListener(inner net.Listener, s *Schedule) *Listener {
+	return &Listener{Listener: inner, sched: s}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.sched), nil
+}
+
+// Dialer returns a dial function that injects faults from the schedule
+// into every dialed connection (client-side injection; plugs into
+// p4rt.ClientOptions.Dialer).
+func Dialer(s *Schedule, timeout time.Duration) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return WrapConn(c, s), nil
+	}
+}

@@ -1,0 +1,167 @@
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/p4rt"
+)
+
+// pipePair builds a wrapped client end and a raw server end.
+func pipePair(s *Schedule) (*Conn, net.Conn) {
+	a, b := net.Pipe()
+	return WrapConn(a, s), b
+}
+
+func TestResetOnWrite(t *testing.T) {
+	s := NewSchedule(Fault{Conn: 0, Op: OpWrite, Index: 1, Kind: Reset})
+	c, peer := pipePair(s)
+	go func() {
+		buf := make([]byte, 16)
+		peer.Read(buf)
+	}()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("write 0 failed: %v", err)
+	}
+	_, err := c.Write([]byte("boom"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 1 error = %v, want injected", err)
+	}
+	if s.Fired() != 1 {
+		t.Errorf("fired = %d, want 1", s.Fired())
+	}
+	// The fault is one-shot and the conn is closed.
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Error("write on closed conn succeeded")
+	}
+}
+
+func TestTruncateLetsPrefixThrough(t *testing.T) {
+	s := NewSchedule(Fault{Conn: 0, Op: OpWrite, Index: 0, Kind: Truncate, Bytes: 3})
+	c, peer := pipePair(s)
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := peer.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := c.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = (%d, %v), want (3, injected)", n, err)
+	}
+	if b := <-got; string(b) != "abc" {
+		t.Errorf("peer read %q, want %q", b, "abc")
+	}
+}
+
+func TestStallDelaysRead(t *testing.T) {
+	s := NewSchedule(Fault{Conn: 0, Op: OpRead, Index: 0, Kind: Stall, Delay: 60 * time.Millisecond})
+	c, peer := pipePair(s)
+	go peer.Write([]byte("hi"))
+	start := time.Now()
+	buf := make([]byte, 2)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("read returned after %v, want ≥ 50ms stall", d)
+	}
+}
+
+func TestConnIndexingAcrossListener(t *testing.T) {
+	// Fault addressed to conn 1 must not hit conn 0.
+	s := NewSchedule(Fault{Conn: 1, Op: OpWrite, Index: 0, Kind: Reset})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := NewListener(ln, s)
+	defer fln.Close()
+	go func() {
+		for {
+			c, err := fln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write([]byte("x")) // triggers the fault on conn 1 only
+				buf := make([]byte, 1)
+				c.Read(buf)
+			}(c)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		_, rerr := c.Read(buf)
+		if i == 0 && rerr != nil {
+			t.Errorf("conn 0 read failed: %v", rerr)
+		}
+		if i == 1 && rerr == nil {
+			t.Error("conn 1 read succeeded, want reset")
+		}
+		c.Close()
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a := Random(42, 5, 3, 10, time.Millisecond)
+	b := Random(42, 5, 3, 10, time.Millisecond)
+	for i := range a.faults {
+		if a.faults[i] != b.faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a.faults[i], b.faults[i])
+		}
+	}
+	c := Random(43, 5, 3, 10, time.Millisecond)
+	same := true
+	for i := range a.faults {
+		same = same && a.faults[i] == c.faults[i]
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// nullTarget is a minimal successful target.
+type nullTarget struct{}
+
+func (nullTarget) InstallPhysical(int, nf.Type, int) error { return nil }
+func (nullTarget) Allocate(*p4rt.SFCSpec) ([]p4rt.PlacementSpec, int, error) {
+	return nil, 1, nil
+}
+func (nullTarget) AllocateAt(*p4rt.SFCSpec, []p4rt.PlacementSpec) (int, error) { return 1, nil }
+func (nullTarget) Deallocate(uint32) error                                     { return nil }
+func (nullTarget) Layout() [][]string                                          { return nil }
+func (nullTarget) Stats() p4rt.Stats                                           { return p4rt.Stats{} }
+func (nullTarget) Inject([]byte, float64) (p4rt.InjectResult, error) {
+	return p4rt.InjectResult{}, nil
+}
+
+func TestFlakyTargetTransientErrors(t *testing.T) {
+	ft := NewFlakyTarget(nullTarget{}, 0, 2)
+	if err := ft.Deallocate(1); !errors.Is(err, p4rt.ErrUnavailable) {
+		t.Errorf("call 0 error = %v, want unavailable", err)
+	}
+	if err := ft.Deallocate(1); err != nil {
+		t.Errorf("call 1 error = %v, want nil", err)
+	}
+	if err := ft.InstallPhysical(0, nf.Firewall, 10); !errors.Is(err, p4rt.ErrUnavailable) {
+		t.Errorf("call 2 error = %v, want unavailable", err)
+	}
+	if ft.Calls() != 3 {
+		t.Errorf("calls = %d, want 3", ft.Calls())
+	}
+	// Infallible accessors never count or fail.
+	ft.Layout()
+	ft.Stats()
+	if ft.Calls() != 3 {
+		t.Errorf("calls after accessors = %d, want 3", ft.Calls())
+	}
+}

@@ -1,0 +1,117 @@
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sfp/internal/nf"
+	"sfp/internal/p4rt"
+)
+
+// FlakyTarget decorates a p4rt.Target with deterministic transient
+// failures: selected fallible calls (by global call index, counting only
+// the error-returning RPCs) fail with an error wrapping
+// p4rt.ErrUnavailable — which the server surfaces as Response.Transient
+// and the hardened client therefore retries — without executing the
+// underlying operation. Read-only accessors (Layout, Stats) cannot fail
+// in the Target interface and are passed through.
+type FlakyTarget struct {
+	inner p4rt.Target
+
+	mu     sync.Mutex
+	calls  int
+	failAt map[int]bool
+}
+
+// NewFlakyTarget fails the given 0-based fallible-call indexes.
+func NewFlakyTarget(inner p4rt.Target, failCalls ...int) *FlakyTarget {
+	m := make(map[int]bool, len(failCalls))
+	for _, i := range failCalls {
+		m[i] = true
+	}
+	return &FlakyTarget{inner: inner, failAt: m}
+}
+
+// RandomFlaky fails n of the first window fallible calls, drawn from the
+// seed. The same seed yields the same failure pattern.
+func RandomFlaky(inner p4rt.Target, seed int64, n, window int) *FlakyTarget {
+	rng := rand.New(rand.NewSource(seed))
+	fails := make([]int, 0, n)
+	for len(fails) < n && len(fails) < window {
+		i := rng.Intn(window)
+		dup := false
+		for _, f := range fails {
+			dup = dup || f == i
+		}
+		if !dup {
+			fails = append(fails, i)
+		}
+	}
+	return NewFlakyTarget(inner, fails...)
+}
+
+// Calls reports how many fallible calls reached the target so far.
+func (t *FlakyTarget) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// gate counts one fallible call and decides whether to fail it.
+func (t *FlakyTarget) gate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := t.calls
+	t.calls++
+	if t.failAt[idx] {
+		return fmt.Errorf("faultnet: transient failure at call %d: %w", idx, p4rt.ErrUnavailable)
+	}
+	return nil
+}
+
+// InstallPhysical implements p4rt.Target.
+func (t *FlakyTarget) InstallPhysical(stage int, typ nf.Type, capacity int) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	return t.inner.InstallPhysical(stage, typ, capacity)
+}
+
+// Allocate implements p4rt.Target.
+func (t *FlakyTarget) Allocate(sfc *p4rt.SFCSpec) ([]p4rt.PlacementSpec, int, error) {
+	if err := t.gate(); err != nil {
+		return nil, 0, err
+	}
+	return t.inner.Allocate(sfc)
+}
+
+// AllocateAt implements p4rt.Target.
+func (t *FlakyTarget) AllocateAt(sfc *p4rt.SFCSpec, placements []p4rt.PlacementSpec) (int, error) {
+	if err := t.gate(); err != nil {
+		return 0, err
+	}
+	return t.inner.AllocateAt(sfc, placements)
+}
+
+// Deallocate implements p4rt.Target.
+func (t *FlakyTarget) Deallocate(tenant uint32) error {
+	if err := t.gate(); err != nil {
+		return err
+	}
+	return t.inner.Deallocate(tenant)
+}
+
+// Inject implements p4rt.Target.
+func (t *FlakyTarget) Inject(wire []byte, nowNs float64) (p4rt.InjectResult, error) {
+	if err := t.gate(); err != nil {
+		return p4rt.InjectResult{}, err
+	}
+	return t.inner.Inject(wire, nowNs)
+}
+
+// Layout implements p4rt.Target.
+func (t *FlakyTarget) Layout() [][]string { return t.inner.Layout() }
+
+// Stats implements p4rt.Target.
+func (t *FlakyTarget) Stats() p4rt.Stats { return t.inner.Stats() }

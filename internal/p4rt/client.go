@@ -2,9 +2,12 @@ package p4rt
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -14,33 +17,238 @@ import (
 	"sfp/internal/vswitch"
 )
 
-// Client is the controller-side handle to a remote switch.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+// ClientOptions tunes the client's robustness behavior. The zero value
+// gives a hardened client with sane defaults (see withDefaults).
+type ClientOptions struct {
+	// DialTimeout bounds each (re)connect attempt. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout is the per-RPC deadline applied to the connection for
+	// the whole write+read round trip. Default 5s; negative disables.
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries for a retryable RPC
+	// (first attempt included). Default 4; 1 disables retry.
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// retries: attempt n sleeps jitter(min(BackoffBase·2ⁿ⁻¹, BackoffMax)).
+	// Defaults 10ms and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the deterministic backoff jitter. Default 1.
+	Seed int64
+	// Dialer overrides how connections are made (fault injection,
+	// testing). Default net.DialTimeout("tcp", addr, DialTimeout).
+	Dialer func(addr string) (net.Conn, error)
 }
 
-// Dial connects to a switch daemon.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ErrBroken reports that the previous RPC left the connection in an
+// unknown framing state and the client could not re-establish a clean one.
+var ErrBroken = errors.New("p4rt: connection broken")
+
+// Client is the controller-side handle to a remote switch. It treats the
+// device channel as unreliable: every call carries a deadline and a
+// monotonically increasing request ID; any mid-frame error poisons the
+// connection (it is never reused — a stale half-read stream could serve
+// the previous call's response to the next one), and retryable RPCs
+// transparently reconnect with bounded exponential backoff. Mutating RPCs
+// are made retry-safe by the server's (client, request-ID) dedup window.
+type Client struct {
+	addr string
+	opts ClientOptions
+
+	mu       sync.Mutex
+	conn     net.Conn
+	r        *bufio.Reader
+	w        *bufio.Writer
+	broken   bool   // current conn is poisoned; redial before next use
+	closed   bool   // Close was called; no redials
+	clientID uint64 // random identity for the server dedup window
+	nextID   uint64 // monotonically increasing request ID
+	rng      *rand.Rand
+}
+
+// Dial connects to a switch daemon with default hardening options.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
+	return DialOptions(addr, ClientOptions{DialTimeout: timeout})
+}
+
+// DialOptions connects to a switch daemon with explicit options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{
+		addr:     addr,
+		opts:     opts,
+		clientID: randomClientID(),
+		nextID:   1,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	if err := c.reconnect(); err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return c, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// randomClientID draws a non-zero 64-bit identity. Uniqueness across
+// processes matters (the server dedups on it); determinism does not.
+func randomClientID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if id := binary.BigEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
 
-// call performs one synchronous RPC.
+// Close releases the connection. The client cannot be used afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// reconnect (mu held) discards any poisoned connection and dials fresh.
+func (c *Client) reconnect() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	var (
+		conn net.Conn
+		err  error
+	)
+	if c.opts.Dialer != nil {
+		conn, err = c.opts.Dialer(c.addr)
+	} else {
+		conn, err = net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	}
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	c.broken = false
+	return nil
+}
+
+// backoff (mu held) sleeps the bounded-exponential, seeded-jitter delay
+// before retry attempt n (n ≥ 1).
+func (c *Client) backoff(n int) {
+	d := c.opts.BackoffBase << uint(n-1)
+	if d <= 0 || d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	// Jitter in [d/2, d]: deterministic under Seed, avoids thundering herds.
+	half := int64(d / 2)
+	if half > 0 {
+		d = time.Duration(half + c.rng.Int63n(half+1))
+	}
+	time.Sleep(d)
+}
+
+// retryable reports whether an RPC may be reissued after a transport
+// failure. Ping/Layout/Stats are read-only; InstallPhysical, Allocate,
+// AllocateAt, and Deallocate mutate but are covered by the server's
+// request-ID dedup window, so a replay of an executed install is a no-op.
+// Inject is neither (it perturbs data-plane counters and has no dedup).
+func retryable(t MsgType) bool {
+	switch t {
+	case MsgPing, MsgLayout, MsgStats,
+		MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate:
+		return true
+	}
+	return false
+}
+
+// call performs one synchronous RPC with deadline, desync detection, and
+// (for retryable types) reconnect + retry. Application-level errors from
+// the switch are returned as-is and never retried, except those the
+// server marks Transient (the target did not execute the request).
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrBroken
+	}
+	req.Client = c.clientID
+	req.ID = c.nextID
+	c.nextID++
 	body, err := marshal(req)
 	if err != nil {
 		return nil, err
+	}
+	attempts := 1
+	if retryable(req.Type) {
+		attempts = c.opts.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.backoff(attempt - 1)
+		}
+		if c.conn == nil || c.broken {
+			if err := c.reconnect(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.roundTrip(req.ID, body)
+		if err != nil {
+			// Any mid-frame failure leaves the stream in an unknown
+			// state: poison the connection so it is never reused.
+			c.broken = true
+			lastErr = err
+			continue
+		}
+		if !resp.OK {
+			if resp.Transient && attempt < attempts {
+				lastErr = errors.New(resp.Error)
+				continue
+			}
+			return resp, errors.New(resp.Error)
+		}
+		return resp, nil
+	}
+	if attempts == 1 {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("p4rt: %s failed after %d attempts: %w", req.Type, attempts, lastErr)
+}
+
+// roundTrip (mu held) writes one framed request and reads its response
+// under the per-call deadline, verifying the echoed request ID.
+func (c *Client) roundTrip(id uint64, body []byte) (*Response, error) {
+	if c.opts.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+		defer c.conn.SetDeadline(time.Time{})
 	}
 	if err := writeFrame(c.w, body); err != nil {
 		return nil, err
@@ -56,8 +264,8 @@ func (c *Client) call(req *Request) (*Response, error) {
 	if err := json.Unmarshal(raw, &resp); err != nil {
 		return nil, err
 	}
-	if !resp.OK {
-		return &resp, errors.New(resp.Error)
+	if resp.ID != id {
+		return nil, fmt.Errorf("p4rt: desynchronized stream: response ID %d for request %d", resp.ID, id)
 	}
 	return &resp, nil
 }

@@ -1,0 +1,301 @@
+package p4rt_test
+
+// Fault-injection integration suite: drives provision→churn→update
+// through the hardened p4rt client against a switch daemon whose
+// transport (or target) injects deterministic, seed-driven faults, and
+// asserts the control plane converges to a consistent switch state —
+// every tenant is either fully installed (and later removable) or left
+// no trace. See internal/faultnet for the fault model.
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sfp/internal/faultnet"
+	"sfp/internal/nf"
+	"sfp/internal/p4rt"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// chainSFC is a two-NF (firewall→router) tenant chain.
+func chainSFC(tenant uint32) *vswitch.SFC {
+	return &vswitch.SFC{
+		Tenant:        tenant,
+		BandwidthGbps: 10,
+		NFs: []*nf.Config{
+			{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+				Action:  "permit",
+			}}},
+			{Type: nf.Router, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Prefix(0, 0)},
+				Action:  "fwd", Params: []uint64{7},
+			}}},
+		},
+	}
+}
+
+// chainPlacements is the single-pass placement for chainSFC.
+func chainPlacements() []vswitch.Placement {
+	return []vswitch.Placement{
+		{NFIndex: 0, Type: nf.Firewall, Stage: 0, Pass: 0},
+		{NFIndex: 1, Type: nf.Router, Stage: 1, Pass: 0},
+	}
+}
+
+// tallyTarget counts executed mutating RPCs (they run under the server's
+// dispatch lock, but Stats/Layout readers race, so guard with a mutex).
+type tallyTarget struct {
+	p4rt.Target
+	mu       sync.Mutex
+	allocAts int
+}
+
+func (c *tallyTarget) AllocateAt(sfc *p4rt.SFCSpec, pls []p4rt.PlacementSpec) (int, error) {
+	c.mu.Lock()
+	c.allocAts++
+	c.mu.Unlock()
+	return c.Target.AllocateAt(sfc, pls)
+}
+
+func (c *tallyTarget) AllocAts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocAts
+}
+
+// startFaultySwitch serves target through a fault-injecting listener.
+func startFaultySwitch(t *testing.T, target p4rt.Target, sched *faultnet.Schedule) string {
+	t.Helper()
+	srv := p4rt.NewServerOptions(target, p4rt.ServerOptions{ReadTimeout: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched != nil {
+		srv.Serve(faultnet.NewListener(ln, sched))
+	} else {
+		srv.Serve(ln)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// hardenedClient dials with fast, deterministic retry settings.
+func hardenedClient(t *testing.T, addr string, dialSched *faultnet.Schedule) *p4rt.Client {
+	t.Helper()
+	opts := p4rt.ClientOptions{
+		DialTimeout: time.Second,
+		CallTimeout: 150 * time.Millisecond,
+		MaxAttempts: 6,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Seed:        1,
+	}
+	if dialSched != nil {
+		opts.Dialer = faultnet.Dialer(dialSched, time.Second)
+	}
+	c, err := p4rt.DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestRetriedAllocateAtExactlyOnce is the acceptance criterion for the
+// dedup window: the switch executes the install, the connection dies
+// before the response arrives, the client retries — and the tenant is
+// installed exactly once.
+func TestRetriedAllocateAtExactlyOnce(t *testing.T) {
+	// Response writes are one buffered flush each: write 0 and 1 answer
+	// the two InstallPhysical calls, write 2 answers the AllocateAt.
+	// Truncating it loses the response after the target executed.
+	sched := faultnet.NewSchedule(faultnet.Fault{
+		Conn: 0, Op: faultnet.OpWrite, Index: 2, Kind: faultnet.Truncate, Bytes: 3,
+	})
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	tally := &tallyTarget{Target: &p4rt.VSwitchTarget{V: v}}
+	addr := startFaultySwitch(t, tally, sched)
+	c := hardenedClient(t, addr, nil)
+
+	if err := c.InstallPhysical(0, nf.Firewall, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(1, nf.Router, 200); err != nil {
+		t.Fatal(err)
+	}
+	passes, err := c.AllocateAt(chainSFC(1), chainPlacements())
+	if err != nil {
+		t.Fatalf("retried AllocateAt failed: %v", err)
+	}
+	if passes != 1 {
+		t.Errorf("passes = %d, want 1", passes)
+	}
+	if sched.Fired() != 1 {
+		t.Fatalf("fault did not fire (fired=%d); test exercised nothing", sched.Fired())
+	}
+	// Exactly one execution despite the retry: the replay was answered
+	// from the dedup window.
+	if got := tally.AllocAts(); got != 1 {
+		t.Errorf("target executed AllocateAt %d times, want exactly 1", got)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != 1 || st.EntriesUsed != 2 {
+		t.Errorf("stats = %+v, want 1 tenant / 2 entries (single install)", st)
+	}
+}
+
+// faultCase is one deterministic schedule for the convergence sweep.
+type faultCase struct {
+	name   string
+	server *faultnet.Schedule // injected on accepted conns
+	client *faultnet.Schedule // injected on dialed conns
+	flaky  []int              // fallible target calls to fail transiently
+}
+
+// TestFaultScheduleConvergence drives the same provision→churn→update
+// sequence through every fault schedule and asserts the switch converges
+// to a consistent state: expected tenants present with exactly their
+// entries, and a full teardown reaches zero — no orphaned rules.
+func TestFaultScheduleConvergence(t *testing.T) {
+	stall := 400 * time.Millisecond
+	cases := []faultCase{
+		{name: "clean"},
+		{name: "reset-first-response", server: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpWrite, Index: 0, Kind: faultnet.Reset})},
+		{name: "reset-mid-request", server: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpRead, Index: 3, Kind: faultnet.Reset})},
+		{name: "truncate-alloc-response", server: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpWrite, Index: 3, Kind: faultnet.Truncate, Bytes: 2})},
+		{name: "stall-request-read", server: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpRead, Index: 4, Kind: faultnet.Stall, Delay: stall})},
+		{name: "double-reset-across-conns", server: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpWrite, Index: 2, Kind: faultnet.Reset},
+			faultnet.Fault{Conn: 1, Op: faultnet.OpWrite, Index: 0, Kind: faultnet.Reset})},
+		{name: "client-truncated-request", client: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpWrite, Index: 4, Kind: faultnet.Truncate, Bytes: 1})},
+		{name: "client-read-stall", client: faultnet.NewSchedule(
+			faultnet.Fault{Conn: 0, Op: faultnet.OpRead, Index: 2, Kind: faultnet.Stall, Delay: stall})},
+		{name: "transient-target-errors", flaky: []int{1, 3}},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cases = append(cases, faultCase{
+			name:   "random-" + string(rune('0'+seed)),
+			server: faultnet.Random(seed, 3, 4, 12, stall),
+		})
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+			var target p4rt.Target = &p4rt.VSwitchTarget{V: v}
+			if len(tc.flaky) > 0 {
+				target = faultnet.NewFlakyTarget(target, tc.flaky...)
+			}
+			addr := startFaultySwitch(t, target, tc.server)
+			c := hardenedClient(t, addr, tc.client)
+
+			// Provision: physical layout, then three tenants.
+			if err := c.InstallPhysical(0, nf.Firewall, 200); err != nil {
+				t.Fatalf("install firewall: %v", err)
+			}
+			if err := c.InstallPhysical(1, nf.Router, 200); err != nil {
+				t.Fatalf("install router: %v", err)
+			}
+			expected := map[uint32]bool{}
+			install := func(tenant uint32) {
+				if _, err := c.AllocateAt(chainSFC(tenant), chainPlacements()); err != nil {
+					// Roll back: whatever the switch may hold for this
+					// tenant must go; "unknown tenant" means nothing did.
+					if derr := c.Deallocate(tenant); derr != nil &&
+						!strings.Contains(derr.Error(), "unknown tenant") {
+						t.Fatalf("rollback of tenant %d failed: %v (install error: %v)", tenant, derr, err)
+					}
+					return
+				}
+				expected[tenant] = true
+			}
+			for tenant := uint32(1); tenant <= 3; tenant++ {
+				install(tenant)
+			}
+			// Churn: one departure…
+			if expected[2] {
+				if err := c.Deallocate(2); err != nil {
+					t.Fatalf("departure of tenant 2: %v", err)
+				}
+				delete(expected, 2)
+			}
+			// …and a runtime-update arrival.
+			install(4)
+
+			// Converge check 1: the switch holds exactly the expected
+			// tenants, each with exactly its two rules.
+			st, err := c.Stats()
+			if err != nil {
+				t.Fatalf("stats: %v", err)
+			}
+			if st.Tenants != len(expected) {
+				t.Errorf("switch tenants = %d, controller expects %d", st.Tenants, len(expected))
+			}
+			if want := 2 * len(expected); st.EntriesUsed != want {
+				t.Errorf("entries used = %d, want %d (2 per tenant, no orphans)", st.EntriesUsed, want)
+			}
+			layout, err := c.Layout()
+			if err != nil {
+				t.Fatalf("layout: %v", err)
+			}
+			if len(layout[0]) != 1 || layout[0][0] != "firewall" || len(layout[1]) != 1 || layout[1][0] != "router" {
+				t.Errorf("layout = %v, want [firewall] [router]", layout[:2])
+			}
+
+			// Converge check 2: full teardown reaches zero — every rule
+			// on the switch was owned by a tenant the controller knows.
+			for tenant := range expected {
+				if err := c.Deallocate(tenant); err != nil {
+					t.Errorf("teardown of tenant %d: %v", tenant, err)
+				}
+			}
+			st, err = c.Stats()
+			if err != nil {
+				t.Fatalf("final stats: %v", err)
+			}
+			if st.Tenants != 0 || st.EntriesUsed != 0 {
+				t.Errorf("after teardown: %d tenants, %d entries — orphaned rules", st.Tenants, st.EntriesUsed)
+			}
+		})
+	}
+}
+
+// TestTransientTargetErrorRetried pins down the ErrUnavailable path in
+// isolation: the target refuses the first fallible call, the server
+// marks the response transient, and the client's retry succeeds without
+// surfacing an error.
+func TestTransientTargetErrorRetried(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	flaky := faultnet.NewFlakyTarget(&p4rt.VSwitchTarget{V: v}, 0)
+	addr := startFaultySwitch(t, flaky, nil)
+	c := hardenedClient(t, addr, nil)
+	if err := c.InstallPhysical(0, nf.Firewall, 100); err != nil {
+		t.Fatalf("transient error not retried: %v", err)
+	}
+	if flaky.Calls() != 2 {
+		t.Errorf("target calls = %d, want 2 (one refused, one executed)", flaky.Calls())
+	}
+	// A non-transient application error is NOT retried.
+	err := c.InstallPhysical(0, nf.Firewall, 100) // duplicate install
+	if err == nil {
+		t.Fatal("duplicate install accepted")
+	}
+	if !errors.Is(err, p4rt.ErrUnavailable) && flaky.Calls() != 3 {
+		t.Errorf("hard error retried: %d calls, want 3", flaky.Calls())
+	}
+}

@@ -8,12 +8,19 @@ package p4rt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"sfp/internal/nf"
 	"sfp/internal/pipeline"
 	"sfp/internal/vswitch"
 )
+
+// ErrUnavailable marks a transient target failure: the request was NOT
+// executed and may be retried safely. Targets (or decorators such as
+// faultnet.FlakyTarget) wrap it; the server translates it to
+// Response.Transient so clients know the retry is safe.
+var ErrUnavailable = errors.New("p4rt: target temporarily unavailable")
 
 // MsgType enumerates the RPCs.
 type MsgType string
@@ -33,6 +40,14 @@ const (
 // Request is one controller→switch message.
 type Request struct {
 	Type MsgType `json:"type"`
+	// ID is a per-client monotonically increasing request ID. The server
+	// echoes it in the response (desync detection) and, together with
+	// Client, dedups replayed mutating requests so retries after a lost
+	// response are no-ops. Zero means "legacy client, no tracking".
+	ID uint64 `json:"id,omitempty"`
+	// Client identifies the issuing client across reconnects (random,
+	// chosen at Dial). Zero disables dedup for this request.
+	Client uint64 `json:"client,omitempty"`
 	// InstallPhysical
 	Stage    int    `json:"stage,omitempty"`
 	NFType   string `json:"nf_type,omitempty"`
@@ -51,6 +66,12 @@ type Request struct {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// ID echoes the request ID so clients can detect a desynchronized
+	// frame stream (e.g. a stale response left by a timed-out call).
+	ID uint64 `json:"id,omitempty"`
+	// Transient marks an error as retry-safe: the target reported it was
+	// temporarily unavailable and did not execute the request.
+	Transient bool `json:"transient,omitempty"`
 	// Allocate*: where the SFC landed.
 	Placements []PlacementSpec `json:"placements,omitempty"`
 	Passes     int             `json:"passes,omitempty"`

@@ -1,0 +1,540 @@
+package p4rt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// --- readFrame / writeFrame edge cases -------------------------------------
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	for _, body := range [][]byte{[]byte(`{"type":"ping"}`), {}, bytes.Repeat([]byte("x"), 70000)} {
+		buf.Reset()
+		if err := writeFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("round trip lost data: %d bytes in, %d out", len(body), len(got))
+		}
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	_, err := readFrame(bytes.NewReader([]byte{0, 0}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+	_, err = readFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream err = %v, want EOF", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	buf.Write(hdr[:])
+	buf.WriteString("only4")
+	if _, err := readFrame(&buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestReadFrameOversizeHeader(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	buf.Write(hdr[:])
+	_, err := readFrame(&buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("err = %v, want frame-limit error", err)
+	}
+	// The oversize body was never allocated or consumed.
+	if buf.Len() != 0 {
+		t.Errorf("reader consumed %d stray bytes", buf.Len())
+	}
+}
+
+func TestReadFrameZeroLength(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(&buf)
+	if err != nil || len(body) != 0 {
+		t.Errorf("zero-length frame = (%v, %v), want empty ok", body, err)
+	}
+}
+
+func TestWriteFrameOversizeBody(t *testing.T) {
+	err := writeFrame(io.Discard, make([]byte, maxFrame+1))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("err = %v, want frame-limit error", err)
+	}
+}
+
+// --- client hardening regressions ------------------------------------------
+
+// scriptedServer accepts connections and hands each to the next handler.
+type scriptedServer struct {
+	ln       net.Listener
+	handlers []func(net.Conn)
+	wg       sync.WaitGroup
+}
+
+func newScriptedServer(t *testing.T, handlers ...func(net.Conn)) *scriptedServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &scriptedServer{ln: ln, handlers: handlers}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for _, h := range handlers {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func(h func(net.Conn)) {
+				defer s.wg.Done()
+				h(conn)
+			}(h)
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); s.wg.Wait() })
+	return s
+}
+
+// readRequest decodes one framed request from the conn.
+func readRequest(t *testing.T, r *bufio.Reader) *Request {
+	t.Helper()
+	body, err := readFrame(r)
+	if err != nil {
+		t.Errorf("scripted server read: %v", err)
+		return &Request{}
+	}
+	var req Request
+	json.Unmarshal(body, &req)
+	return &req
+}
+
+// writeResponse frames one response onto the conn.
+func writeResponse(conn net.Conn, resp Response) {
+	body, _ := marshal(resp)
+	var buf bytes.Buffer
+	writeFrame(&buf, body)
+	conn.Write(buf.Bytes())
+}
+
+// TestClientAbandonsConnAfterPartialResponse is the stale-stream
+// regression: a response that times out mid-frame must poison the
+// connection. A client that reused it would read the leftover bytes of
+// the old response as the answer to its next, different call.
+func TestClientAbandonsConnAfterPartialResponse(t *testing.T) {
+	release := make(chan struct{})
+	srv := newScriptedServer(t,
+		func(conn net.Conn) {
+			// First conn: read the request, send only a partial frame
+			// (header promises 100 bytes, 10 arrive), then hold the conn
+			// open until the test ends.
+			r := bufio.NewReader(conn)
+			readRequest(t, r)
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], 100)
+			conn.Write(hdr[:])
+			conn.Write([]byte("0123456789"))
+			<-release
+			conn.Close()
+		},
+		func(conn net.Conn) {
+			// Second conn: behave. Any request arriving here proves the
+			// client abandoned the first conn.
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			req := readRequest(t, r)
+			writeResponse(conn, Response{OK: true, ID: req.ID})
+		},
+	)
+	defer close(release)
+
+	c, err := DialOptions(srv.ln.Addr().String(), ClientOptions{
+		CallTimeout: 100 * time.Millisecond,
+		MaxAttempts: 1, // isolate the broken-state behavior from retry
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping with partial response succeeded")
+	}
+	// The second call must reconnect, not read the stale bytes.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after poisoned conn: %v", err)
+	}
+}
+
+// TestClientDetectsDesync checks the request-ID echo: a response carrying
+// the wrong ID (a stale or reordered frame) is rejected instead of being
+// delivered as this call's result.
+func TestClientDetectsDesync(t *testing.T) {
+	srv := newScriptedServer(t, func(conn net.Conn) {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		req := readRequest(t, r)
+		writeResponse(conn, Response{OK: true, ID: req.ID + 7})
+	})
+	c, err := DialOptions(srv.ln.Addr().String(), ClientOptions{
+		CallTimeout: time.Second,
+		MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Ping()
+	if err == nil || !strings.Contains(err.Error(), "desynchronized") {
+		t.Fatalf("err = %v, want desync detection", err)
+	}
+}
+
+// TestClientRetriesAcrossReconnect: a server that kills the first
+// connection before responding must not fail a retryable RPC.
+func TestClientRetriesAcrossReconnect(t *testing.T) {
+	srv := newScriptedServer(t,
+		func(conn net.Conn) {
+			r := bufio.NewReader(conn)
+			readRequest(t, r)
+			conn.Close() // reset before response
+		},
+		func(conn net.Conn) {
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			req := readRequest(t, r)
+			writeResponse(conn, Response{OK: true, ID: req.ID})
+		},
+	)
+	c, err := DialOptions(srv.ln.Addr().String(), ClientOptions{
+		CallTimeout: time.Second,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("retryable ping failed across reconnect: %v", err)
+	}
+}
+
+// --- server robustness ------------------------------------------------------
+
+// TestPerServerDispatchLock: two servers in one process must not
+// serialize against each other (the old package-level dispatchMu did).
+func TestPerServerDispatchLock(t *testing.T) {
+	s1 := NewServer(&VSwitchTarget{V: vswitch.New(pipeline.New(pipeline.DefaultConfig()))})
+	s2 := NewServer(&VSwitchTarget{V: vswitch.New(pipeline.New(pipeline.DefaultConfig()))})
+	s1.dispatchMu.Lock()
+	defer s1.dispatchMu.Unlock()
+	done := make(chan Response, 1)
+	go func() { done <- s2.dispatch(&Request{Type: MsgPing}) }()
+	select {
+	case resp := <-done:
+		if !resp.OK {
+			t.Errorf("ping on s2 failed: %v", resp.Error)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("s2.dispatch blocked on s1's dispatch lock")
+	}
+}
+
+func TestServerReadTimeoutDropsIdleConn(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	srv := NewServerOptions(&VSwitchTarget{V: v}, ServerOptions{ReadTimeout: 50 * time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the server must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil || !errors.Is(err, io.EOF) {
+		t.Errorf("idle conn read = %v, want server-side EOF", err)
+	}
+	// An active client is unaffected: each frame refreshes the deadline.
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+}
+
+func TestServerMaxConns(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	srv := NewServerOptions(&VSwitchTarget{V: v}, ServerOptions{MaxConns: 1})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c1, err := DialOptions(addr, ClientOptions{MaxAttempts: 1, CallTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// A second connection is shed immediately.
+	c2, err := DialOptions(addr, ClientOptions{MaxAttempts: 1, CallTimeout: 300 * time.Millisecond})
+	if err == nil {
+		defer c2.Close()
+		if err := c2.Ping(); err == nil {
+			t.Error("second conn served beyond MaxConns=1")
+		}
+	}
+	// The first client still works.
+	if err := c1.Ping(); err != nil {
+		t.Errorf("first conn broken by shedding: %v", err)
+	}
+}
+
+// slowTarget delays mutating calls so Shutdown has something in flight.
+type slowTarget struct {
+	Target
+	delay time.Duration
+}
+
+func (s *slowTarget) InstallPhysical(stage int, t nf.Type, capacity int) error {
+	time.Sleep(s.delay)
+	return s.Target.InstallPhysical(stage, t, capacity)
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	srv := NewServer(&slowTarget{Target: &VSwitchTarget{V: v}, delay: 200 * time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialOptions(addr, ClientOptions{MaxAttempts: 1, CallTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	result := make(chan error, 1)
+	go func() { result <- c.InstallPhysical(0, nf.Firewall, 100) }()
+	time.Sleep(50 * time.Millisecond) // let the request reach the target
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The in-flight install completed and its response was delivered.
+	if err := <-result; err != nil {
+		t.Fatalf("in-flight request dropped by shutdown: %v", err)
+	}
+	if got := v.Layout()[0]; len(got) != 1 {
+		t.Errorf("install did not land: layout %v", got)
+	}
+	// New connections are refused after drain.
+	if _, err := DialOptions(addr, ClientOptions{MaxAttempts: 1, CallTimeout: 200 * time.Millisecond}); err == nil {
+		t.Error("dial succeeded after shutdown")
+	}
+}
+
+// TestConcurrentClientsStress hammers one server with many clients
+// running mixed read and mutating RPCs concurrently (run under -race:
+// it exercises the dispatch lock, the dedup window, and the connection
+// bookkeeping simultaneously).
+func TestConcurrentClientsStress(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	srv := NewServerOptions(&VSwitchTarget{V: v}, ServerOptions{ReadTimeout: 5 * time.Second, MaxConns: 64})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	boot, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer boot.Close()
+	if err := boot.InstallPhysical(0, nf.Firewall, 5000); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, rounds = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for r := 0; r < rounds; r++ {
+				tenant := uint32(1000 + w*rounds + r)
+				sfc := &vswitch.SFC{Tenant: tenant, BandwidthGbps: 0.1, NFs: []*nf.Config{
+					{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+						Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+						Action:  "permit",
+					}}},
+				}}
+				if _, _, err := c.Allocate(sfc); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Ping(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Stats(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Layout(); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Deallocate(tenant); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st, err := boot.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenants != 0 || st.EntriesUsed != 0 {
+		t.Errorf("after stress: %d tenants, %d entries, want 0/0", st.Tenants, st.EntriesUsed)
+	}
+}
+
+// --- dedup window -----------------------------------------------------------
+
+// countingTarget counts executed mutating calls per RPC.
+type countingTarget struct {
+	Target
+	mu       sync.Mutex
+	installs int
+	allocAts int
+	deallocs int
+}
+
+func (c *countingTarget) InstallPhysical(stage int, t nf.Type, capacity int) error {
+	c.mu.Lock()
+	c.installs++
+	c.mu.Unlock()
+	return c.Target.InstallPhysical(stage, t, capacity)
+}
+
+func (c *countingTarget) AllocateAt(sfc *SFCSpec, pls []PlacementSpec) (int, error) {
+	c.mu.Lock()
+	c.allocAts++
+	c.mu.Unlock()
+	return c.Target.AllocateAt(sfc, pls)
+}
+
+func (c *countingTarget) Deallocate(tenant uint32) error {
+	c.mu.Lock()
+	c.deallocs++
+	c.mu.Unlock()
+	return c.Target.Deallocate(tenant)
+}
+
+func (c *countingTarget) counts() (int, int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.installs, c.allocAts, c.deallocs
+}
+
+func TestDedupWindowReplaySuppressed(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	ct := &countingTarget{Target: &VSwitchTarget{V: v}}
+	srv := NewServer(ct)
+	req := &Request{Type: MsgInstallPhysical, Stage: 0, NFType: "firewall", Capacity: 100, Client: 42, ID: 1}
+	first := srv.dispatch(req)
+	if !first.OK {
+		t.Fatal(first.Error)
+	}
+	replay := srv.dispatch(req)
+	if !replay.OK {
+		t.Fatalf("replayed install re-executed and failed: %v", replay.Error)
+	}
+	if installs, _, _ := ct.counts(); installs != 1 {
+		t.Errorf("target executed %d times, want 1", installs)
+	}
+	// A different request ID really executes (and errors: duplicate).
+	req2 := &Request{Type: MsgInstallPhysical, Stage: 0, NFType: "firewall", Capacity: 100, Client: 42, ID: 2}
+	if resp := srv.dispatch(req2); resp.OK {
+		t.Error("fresh duplicate install unexpectedly succeeded")
+	}
+	// Legacy requests (no client/ID) bypass the window entirely.
+	legacy := &Request{Type: MsgDeallocate, Tenant: 7}
+	srv.dispatch(legacy)
+	srv.dispatch(legacy)
+	if _, _, deallocs := ct.counts(); deallocs != 2 {
+		t.Errorf("legacy requests deduped: %d executions, want 2", deallocs)
+	}
+}
+
+func TestDedupWindowEviction(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	ct := &countingTarget{Target: &VSwitchTarget{V: v}}
+	srv := NewServerOptions(ct, ServerOptions{DedupWindow: 2})
+	// Three distinct mutating requests from one client overflow a
+	// window of two; the first becomes replayable-as-fresh again.
+	for id := uint64(1); id <= 3; id++ {
+		srv.dispatch(&Request{Type: MsgDeallocate, Tenant: uint32(id), Client: 9, ID: id})
+	}
+	srv.dispatch(&Request{Type: MsgDeallocate, Tenant: 1, Client: 9, ID: 1}) // evicted → re-executes
+	srv.dispatch(&Request{Type: MsgDeallocate, Tenant: 3, Client: 9, ID: 3}) // cached → suppressed
+	if _, _, deallocs := ct.counts(); deallocs != 4 {
+		t.Errorf("deallocate executions = %d, want 4 (3 fresh + 1 evicted replay)", deallocs)
+	}
+}

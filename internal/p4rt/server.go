@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"sfp/internal/nf"
 )
@@ -59,20 +60,67 @@ type Target interface {
 	Inject(wire []byte, nowNs float64) (InjectResult, error)
 }
 
+// ServerOptions tunes server robustness. The zero value keeps historic
+// behavior (no read timeout, unlimited connections, default dedup window).
+type ServerOptions struct {
+	// ReadTimeout is the per-frame read deadline: a connection that stays
+	// idle (or dribbles a partial frame) longer than this is closed, so
+	// hostile or dead peers cannot pin goroutines forever. 0 = none.
+	ReadTimeout time.Duration
+	// MaxConns caps concurrently served connections; excess accepts are
+	// closed immediately. 0 = unlimited.
+	MaxConns int
+	// DedupWindow is how many recent mutating responses are cached per
+	// client for request-ID replay detection. 0 = 128.
+	DedupWindow int
+	// MaxClients bounds how many client identities the dedup cache
+	// tracks (oldest evicted first). 0 = 64.
+	MaxClients int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.DedupWindow <= 0 {
+		o.DedupWindow = 128
+	}
+	if o.MaxClients <= 0 {
+		o.MaxClients = 64
+	}
+	return o
+}
+
 // Server serves the control API over TCP.
 type Server struct {
 	target Target
+	opts   ServerOptions
+
+	// dispatchMu serializes all target access: the data-plane structures
+	// are not concurrent-safe, matching a single switch driver thread.
+	// Per-server, so two Servers in one process do not contend.
+	dispatchMu sync.Mutex
+	dedup      dedupCache
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+	draining bool
 }
 
-// NewServer wraps a target.
+// NewServer wraps a target with default options.
 func NewServer(target Target) *Server {
-	return &Server{target: target, conns: make(map[net.Conn]struct{})}
+	return NewServerOptions(target, ServerOptions{})
+}
+
+// NewServerOptions wraps a target with explicit robustness options.
+func NewServerOptions(target Target, opts ServerOptions) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		target: target,
+		opts:   opts,
+		conns:  make(map[net.Conn]struct{}),
+		dedup:  newDedupCache(opts.DedupWindow, opts.MaxClients),
+	}
 }
 
 // Listen binds the address and serves until Close. It returns the bound
@@ -82,12 +130,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections from an existing listener until Close. It
+// lets callers interpose their own listener (e.g. faultnet wrappers).
+func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -98,10 +152,15 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			conn.Close()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
@@ -121,6 +180,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
+		}
 		body, err := readFrame(r)
 		if err != nil {
 			return
@@ -131,6 +193,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			resp = Response{Error: "bad request: " + err.Error()}
 		} else {
 			resp = s.dispatch(&req)
+			resp.ID = req.ID
 		}
 		out, err := marshal(resp)
 		if err != nil {
@@ -142,16 +205,44 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := w.Flush(); err != nil {
 			return
 		}
+		s.mu.Lock()
+		stop := s.draining || s.closed
+		s.mu.Unlock()
+		if stop {
+			return
+		}
 	}
 }
 
-// dispatch serializes all target access: the data-plane structures are not
-// concurrent-safe, matching a single switch driver thread.
-var dispatchMu sync.Mutex
+// mutating reports whether an RPC changes switch state. Only these go
+// through the dedup window: a replayed read just re-executes.
+func mutating(t MsgType) bool {
+	switch t {
+	case MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate:
+		return true
+	}
+	return false
+}
 
 func (s *Server) dispatch(req *Request) Response {
-	dispatchMu.Lock()
-	defer dispatchMu.Unlock()
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	dedupable := mutating(req.Type) && req.Client != 0 && req.ID != 0
+	if dedupable {
+		if resp, ok := s.dedup.lookup(req.Client, req.ID); ok {
+			return resp
+		}
+	}
+	resp := s.execute(req)
+	// Cache everything except transient failures (the target did not
+	// execute those, so the retry must really re-run).
+	if dedupable && !resp.Transient {
+		s.dedup.store(req.Client, req.ID, resp)
+	}
+	return resp
+}
+
+func (s *Server) execute(req *Request) Response {
 	switch req.Type {
 	case MsgPing:
 		return Response{OK: true}
@@ -202,9 +293,49 @@ func (s *Server) dispatch(req *Request) Response {
 	return errResp(fmt.Errorf("unknown message type %q", req.Type))
 }
 
-func errResp(err error) Response { return Response{Error: err.Error()} }
+func errResp(err error) Response {
+	return Response{Error: err.Error(), Transient: errors.Is(err, ErrUnavailable)}
+}
 
-// Close stops the listener and all connections.
+// Shutdown gracefully drains the server: the listener stops accepting,
+// idle connections are unblocked and closed, and connections that are
+// mid-request finish executing and deliver their response before closing.
+// If the drain exceeds the timeout, remaining connections are force-closed.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	// Unblock connections waiting in readFrame: their read fails
+	// immediately and the serve loop exits. A connection mid-dispatch is
+	// unaffected — the response write uses the (unset) write deadline.
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return nil
+	case <-time.After(timeout):
+		return s.Close()
+	}
+}
+
+// Close stops the listener and all connections immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -218,4 +349,60 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// dedupCache remembers recent mutating responses per client so a retried
+// request (same client, same ID — e.g. reissued after a lost response) is
+// answered from cache instead of re-executed. Bounded both per client
+// (ring of recent IDs) and across clients (oldest identity evicted).
+type dedupCache struct {
+	window     int
+	maxClients int
+	clients    map[uint64]*clientWindow
+	order      []uint64 // client insertion order for eviction
+}
+
+type clientWindow struct {
+	resps map[uint64]Response
+	ring  []uint64
+	next  int
+}
+
+func newDedupCache(window, maxClients int) dedupCache {
+	return dedupCache{
+		window:     window,
+		maxClients: maxClients,
+		clients:    make(map[uint64]*clientWindow),
+	}
+}
+
+// lookup is called under dispatchMu.
+func (d *dedupCache) lookup(client, id uint64) (Response, bool) {
+	cw := d.clients[client]
+	if cw == nil {
+		return Response{}, false
+	}
+	resp, ok := cw.resps[id]
+	return resp, ok
+}
+
+// store is called under dispatchMu.
+func (d *dedupCache) store(client, id uint64, resp Response) {
+	cw := d.clients[client]
+	if cw == nil {
+		if len(d.clients) >= d.maxClients {
+			evict := d.order[0]
+			d.order = d.order[1:]
+			delete(d.clients, evict)
+		}
+		cw = &clientWindow{resps: make(map[uint64]Response), ring: make([]uint64, d.window)}
+		d.clients[client] = cw
+		d.order = append(d.order, client)
+	}
+	if old := cw.ring[cw.next]; old != 0 {
+		delete(cw.resps, old)
+	}
+	cw.ring[cw.next] = id
+	cw.next = (cw.next + 1) % len(cw.ring)
+	cw.resps[id] = resp
 }

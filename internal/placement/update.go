@@ -93,6 +93,15 @@ func (u *Updater) Arrive(c *model.Chain) error {
 	return nil
 }
 
+// Withdraw erases a chain whether live or waiting, as if it never
+// arrived. It is the rollback path for an arrival whose data-plane
+// install failed after the replan already admitted it.
+func (u *Updater) Withdraw(id int) {
+	delete(u.live, id)
+	delete(u.waiting, id)
+	delete(u.chains, id)
+}
+
 // Adjust replaces a live tenant's chain definition; per §V-E this is
 // treated as a departure followed by an arrival (the new chain waits for
 // the next Replan).

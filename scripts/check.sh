@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: vet, build, and the full test suite under the race
+# detector. CI and pre-merge checks run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== all checks passed"
