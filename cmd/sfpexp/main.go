@@ -19,8 +19,9 @@ import (
 
 func main() {
 	var (
-		figs  = flag.String("fig", "all", "comma-separated figure numbers (4..11), 'savings', or 'all'")
-		scale = flag.String("scale", "quick", "experiment scale: quick | paper")
+		figs    = flag.String("fig", "all", "comma-separated figure numbers (4..11), 'savings', or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
+		workers = flag.Int("workers", 1, "traffic-engine workers for the data-plane figures (0 = GOMAXPROCS; 1 = sequential reference)")
 	)
 	flag.Parse()
 
@@ -52,8 +53,8 @@ func main() {
 		fig string
 		run func() (*experiments.Table, error)
 	}{
-		{"4", func() (*experiments.Table, error) { return experiments.Fig4(0) }},
-		{"5", func() (*experiments.Table, error) { return experiments.Fig5(0) }},
+		{"4", func() (*experiments.Table, error) { return experiments.Fig4Workers(0, *workers) }},
+		{"5", func() (*experiments.Table, error) { return experiments.Fig5Workers(0, *workers) }},
 		{"6", func() (*experiments.Table, error) { return experiments.Fig6(sc) }},
 		{"7", func() (*experiments.Table, error) { return experiments.Fig7(sc) }},
 		{"8", func() (*experiments.Table, error) { return experiments.Fig8(sc) }},

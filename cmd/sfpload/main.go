@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"sfp/internal/nf"
@@ -33,6 +35,7 @@ func main() {
 		setup   = flag.Bool("setup", true, "install physical NFs and the demo SFC first")
 		seed    = flag.Int64("seed", 1, "flow RNG seed")
 		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel injection connections (1 reproduces the sequential numbers bit-for-bit)")
 	)
 	flag.Parse()
 
@@ -58,12 +61,27 @@ func main() {
 		}
 	}
 
+	// One connection per injection worker; worker 0 reuses the setup client.
+	if *workers < 1 {
+		*workers = 1
+	}
+	conns := []*p4rt.Client{cli}
+	for w := 1; w < *workers; w++ {
+		c, err := p4rt.Dial(*addr, *timeout)
+		if err != nil {
+			fatal(fmt.Errorf("worker %d dial: %w", w, err))
+		}
+		defer c.Close()
+		conns = append(conns, c)
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	gen := traffic.NewFlowGen(rng, uint32(*tenant), vip, 128)
 	fmt.Printf("%-9s %-10s %-10s %-10s %-8s %-8s\n", "bytes", "p50_ns", "p99_ns", "mean_ns", "passes", "drops")
 	for _, size := range traffic.PacketSizes {
-		lats := make([]float64, 0, *n)
-		drops, passes := 0, 0
+		// Pre-generate the wire frames so RNG draw order (and therefore the
+		// workload) is independent of the worker count.
+		frames := make([][]byte, *n)
 		for i := 0; i < *n; i++ {
 			p := gen.Next(size)
 			// Tag the tenant in the VLAN header so the wire carries it.
@@ -71,16 +89,11 @@ func main() {
 			p.VLAN.VID = uint16(*tenant) & 0x0fff
 			p.VLAN.EtherType = packet.EtherTypeIPv4
 			p.Eth.EtherType = packet.EtherTypeVLAN
-			res, err := cli.Inject(packet.Deparse(p), float64(i)*1000)
-			if err != nil {
-				fatal(err)
-			}
-			if res.Dropped {
-				drops++
-				continue
-			}
-			lats = append(lats, res.LatencyNs)
-			passes = res.Passes
+			frames[i] = packet.Deparse(p)
+		}
+		lats, passes, drops, err := inject(conns, frames)
+		if err != nil {
+			fatal(err)
 		}
 		sort.Float64s(lats)
 		fmt.Printf("%-9d %-10.0f %-10.0f %-10.0f %-8d %-8d\n",
@@ -118,6 +131,53 @@ func demoSFC(tenant uint32, vip uint32) *vswitch.SFC {
 			}}},
 		},
 	}
+}
+
+// inject replays the frames across the worker connections (contiguous
+// chunks, original timestamps) and merges the per-packet results in frame
+// order. With one connection this is exactly the classic sequential loop.
+func inject(conns []*p4rt.Client, frames [][]byte) (lats []float64, passes, drops int, err error) {
+	type outcome struct {
+		lat     float64
+		passes  int
+		dropped bool
+	}
+	results := make([]outcome, len(frames))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for w := range conns {
+		lo, hi := len(frames)*w/len(conns), len(frames)*(w+1)/len(conns)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				res, err := conns[w].Inject(frames[i], float64(i)*1000)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				results[i] = outcome{lat: res.LatencyNs, passes: res.Passes, dropped: res.Dropped}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, 0, 0, e
+		}
+	}
+	lats = make([]float64, 0, len(frames))
+	for _, r := range results {
+		if r.dropped {
+			drops++
+			continue
+		}
+		lats = append(lats, r.lat)
+		if r.passes > passes {
+			passes = r.passes
+		}
+	}
+	return lats, passes, drops, nil
 }
 
 func pct(sorted []float64, q float64) float64 {

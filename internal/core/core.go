@@ -17,9 +17,9 @@ import (
 
 	"sfp/internal/model"
 	"sfp/internal/nf"
-	"sfp/internal/packet"
 	"sfp/internal/pipeline"
 	"sfp/internal/placement"
+	"sfp/internal/traffic"
 	"sfp/internal/vswitch"
 )
 
@@ -501,21 +501,11 @@ func (c *Controller) ReconfigureIfStale(threshold float64) (bool, error) {
 	return true, nil
 }
 
-// ReplayProcessor adapts the controller's data plane to traffic.Replay, so
-// captured or synthesized traces can be replayed against a provisioned
-// switch and aggregated into latency/drop statistics.
-type ReplayProcessor struct {
-	V *vswitch.VSwitch
-}
-
-// Process implements traffic.Processor.
-func (r ReplayProcessor) Process(p *packet.Packet, nowNs float64) (float64, int, bool) {
-	res := r.V.Process(p, nowNs)
-	return res.LatencyNs, res.Passes, res.Dropped
-}
-
-// Replayer returns a trace processor bound to this controller's switch.
-func (c *Controller) Replayer() ReplayProcessor { return ReplayProcessor{V: c.v} }
+// Replayer returns the controller's switch as a trace processor — the
+// vswitch satisfies traffic.Processor directly, so captured or synthesized
+// traces can be replayed against a provisioned switch and aggregated into
+// latency/drop statistics.
+func (c *Controller) Replayer() traffic.Processor { return c.v }
 
 // PlacedTenants returns the tenants currently installed in the data plane.
 func (c *Controller) PlacedTenants() []uint32 {

@@ -67,7 +67,9 @@ func fig45Switch(reverse bool) (*vswitch.VSwitch, *vswitch.SFC, error) {
 }
 
 // runDataPlane pushes n packets of the given wire size through the switch
-// and returns (mean latency ns, passes, drops).
+// and returns (mean latency ns, passes, drops). It is the sequential
+// reference loop: the parallel engine path below must agree with it
+// bit-for-bit at workers=1 (see TestFig45EngineMatchesSequential).
 func runDataPlane(v *vswitch.VSwitch, tenant uint32, size, n int, rng *rand.Rand) (meanLat float64, passes int, drops int) {
 	gen := traffic.NewFlowGen(rng, tenant, fig45VIP, 64)
 	total := 0.0
@@ -83,21 +85,47 @@ func runDataPlane(v *vswitch.VSwitch, tenant uint32, size, n int, rng *rand.Rand
 	return total / float64(n), passes, drops
 }
 
-// Fig4 reproduces the throughput comparison: SFP saturates the 100 Gbps
-// offered load at every packet size, while the DPDK chain is pps-bound and
-// only saturates near MTU (§VI-B).
-func Fig4(packetsPerSize int) (*Table, error) {
+// runDataPlaneParallel replays the same workload runDataPlane generates —
+// same RNG draw order, same timestamps — through the parallel traffic
+// engine, with one switch clone per worker built by newSwitch.
+func runDataPlaneParallel(newSwitch func() (*vswitch.VSwitch, error), tenant uint32, size, n, workers int, rng *rand.Rand) (meanLat float64, passes, drops int, err error) {
+	gen := traffic.NewFlowGen(rng, tenant, fig45VIP, 64)
+	items := traffic.GenItems(gen, n, size, 1000)
+	eng := traffic.Engine{
+		Workers: workers,
+		New:     func(int) (traffic.Processor, error) { return newSwitch() },
+	}
+	stats, err := eng.Replay(items)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return stats.MeanLatencyNs(), stats.Passes, stats.Drops, nil
+}
+
+// Fig4 reproduces the throughput comparison at workers=1 (the sequential
+// reference); Fig4Workers replays the packet workload across N engine
+// workers.
+func Fig4(packetsPerSize int) (*Table, error) { return Fig4Workers(packetsPerSize, 1) }
+
+// Fig4Workers reproduces the throughput comparison: SFP saturates the
+// 100 Gbps offered load at every packet size, while the DPDK chain is
+// pps-bound and only saturates near MTU (§VI-B). workers selects the
+// traffic engine's parallelism (<=0 = GOMAXPROCS); the aggregate metrics
+// are independent of the worker count.
+func Fig4Workers(packetsPerSize, workers int) (*Table, error) {
 	if packetsPerSize <= 0 {
 		packetsPerSize = 2000
 	}
-	v, sfc, err := fig45Switch(false)
-	if err != nil {
-		return nil, err
+	newStraight := func() (*vswitch.VSwitch, error) {
+		v, _, err := fig45Switch(false)
+		return v, err
 	}
+	sfc := fig45Chain(7)
 	dpdk, err := softnf.New(softnf.DefaultConfig(), len(sfc.NFs))
 	if err != nil {
 		return nil, err
 	}
+	cfg := pipeline.DefaultConfig()
 	const offered = 100.0
 	t := &Table{
 		Title:   "Fig. 4: SFC throughput, SFP vs DPDK (4-NF chain, 100 Gbps offered)",
@@ -106,13 +134,16 @@ func Fig4(packetsPerSize int) (*Table, error) {
 	rng := rand.New(rand.NewSource(4))
 	for _, size := range traffic.PacketSizes {
 		// Exercise the real data plane to confirm lossless processing.
-		_, passes, drops := runDataPlane(v, sfc.Tenant, size, packetsPerSize, rng)
+		_, passes, drops, err := runDataPlaneParallel(newStraight, sfc.Tenant, size, packetsPerSize, workers, rng)
+		if err != nil {
+			return nil, err
+		}
 		if drops > 0 {
 			return nil, fmt.Errorf("experiments: fig4: %d unexpected drops at %dB", drops, size)
 		}
 		// SFP forwards at line rate divided by the pass count (one here).
 		sfpGbps := offered / float64(passes)
-		if lim := v.Pipe.Cfg.CapacityGbps / float64(passes); lim < sfpGbps {
+		if lim := cfg.CapacityGbps / float64(passes); lim < sfpGbps {
 			sfpGbps = lim
 		}
 		sfpMpps := pipeline.LineRatePPS(sfpGbps, size) / 1e6
@@ -126,20 +157,26 @@ func Fig4(packetsPerSize int) (*Table, error) {
 	return t, nil
 }
 
-// Fig5 reproduces the latency comparison: SFP ≈341 ns, SFP with three
-// recirculations ≈+35 ns, DPDK ≈1151 ns.
-func Fig5(packetsPerSize int) (*Table, error) {
+// Fig5 reproduces the latency comparison at workers=1 (the sequential
+// reference); Fig5Workers replays the packet workload across N engine
+// workers.
+func Fig5(packetsPerSize int) (*Table, error) { return Fig5Workers(packetsPerSize, 1) }
+
+// Fig5Workers reproduces the latency comparison: SFP ≈341 ns, SFP with
+// three recirculations ≈+35 ns, DPDK ≈1151 ns.
+func Fig5Workers(packetsPerSize, workers int) (*Table, error) {
 	if packetsPerSize <= 0 {
 		packetsPerSize = 1000
 	}
-	straight, sfc, err := fig45Switch(false)
-	if err != nil {
-		return nil, err
+	newStraight := func() (*vswitch.VSwitch, error) {
+		v, _, err := fig45Switch(false)
+		return v, err
 	}
-	recir, _, err := fig45Switch(true)
-	if err != nil {
-		return nil, err
+	newRecir := func() (*vswitch.VSwitch, error) {
+		v, _, err := fig45Switch(true)
+		return v, err
 	}
+	sfc := fig45Chain(7)
 	dpdk, err := softnf.New(softnf.DefaultConfig(), len(sfc.NFs))
 	if err != nil {
 		return nil, err
@@ -151,8 +188,14 @@ func Fig5(packetsPerSize int) (*Table, error) {
 	rng := rand.New(rand.NewSource(5))
 	var sfpSum, recirSum, dpdkSum float64
 	for _, size := range traffic.PacketSizes {
-		sfpLat, passes1, _ := runDataPlane(straight, sfc.Tenant, size, packetsPerSize, rng)
-		recirLat, passes4, _ := runDataPlane(recir, sfc.Tenant, size, packetsPerSize, rng)
+		sfpLat, passes1, _, err := runDataPlaneParallel(newStraight, sfc.Tenant, size, packetsPerSize, workers, rng)
+		if err != nil {
+			return nil, err
+		}
+		recirLat, passes4, _, err := runDataPlaneParallel(newRecir, sfc.Tenant, size, packetsPerSize, workers, rng)
+		if err != nil {
+			return nil, err
+		}
 		if passes1 != 1 {
 			return nil, fmt.Errorf("experiments: fig5: straight chain took %d passes", passes1)
 		}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sfp/internal/vswitch"
+)
+
+// TestFig45EngineMatchesSequential: the engine-backed data-plane replay at
+// workers=1 must agree bit-for-bit with the legacy sequential loop
+// (runDataPlane), for both the straight chain and the recirculating one.
+// This is the acceptance gate for rerouting Fig. 4/5 through the engine.
+func TestFig45EngineMatchesSequential(t *testing.T) {
+	const n = 500
+	for _, reverse := range []bool{false, true} {
+		seqSwitch, sfc, err := fig45Switch(reverse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSwitch := func() (*vswitch.VSwitch, error) {
+			v, _, err := fig45Switch(reverse)
+			return v, err
+		}
+		for _, size := range []int{64, 512, 1500} {
+			seqRng := rand.New(rand.NewSource(99))
+			wantLat, wantPasses, wantDrops := runDataPlane(seqSwitch, sfc.Tenant, size, n, seqRng)
+
+			parRng := rand.New(rand.NewSource(99))
+			gotLat, gotPasses, gotDrops, err := runDataPlaneParallel(newSwitch, sfc.Tenant, size, n, 1, parRng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotLat != wantLat || gotPasses != wantPasses || gotDrops != wantDrops {
+				t.Errorf("reverse=%v size=%d: engine(1) = (%v, %d, %d), sequential = (%v, %d, %d)",
+					reverse, size, gotLat, gotPasses, gotDrops, wantLat, wantPasses, wantDrops)
+			}
+		}
+	}
+}
+
+// TestFig45WorkersAgree: multi-worker replay produces the same aggregate
+// tables as workers=1 (floating-point identical here, since per-worker sums
+// over contiguous chunks merge in worker order).
+func TestFig45WorkersAgree(t *testing.T) {
+	f4a, err := Fig4Workers(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4b, err := Fig4Workers(300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "Fig4", f4a, f4b)
+
+	f5a, err := Fig5Workers(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5b, err := Fig5Workers(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTablesEqual(t, "Fig5", f5a, f5b)
+}
+
+// assertTablesEqual compares rows to a tiny relative tolerance: worker
+// tallies are partial sums merged in worker order, which can differ from one
+// running sum in the final ulp. (Bit-exactness is only promised — and tested
+// above — for workers=1 against the sequential loop.)
+func assertTablesEqual(t *testing.T, name string, a, b *Table) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: row count %d vs %d", name, len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			x, y := a.Rows[i][j], b.Rows[i][j]
+			if diff := math.Abs(x - y); diff > 1e-9*math.Max(math.Abs(x), 1) {
+				t.Errorf("%s row %d col %d: %v (workers=1) vs %v (workers=4)",
+					name, i, j, x, y)
+			}
+		}
+	}
+}

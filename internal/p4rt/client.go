@@ -431,7 +431,7 @@ func (t *VSwitchTarget) Stats() Stats {
 		EntriesUsed:   t.V.Pipe.EntriesUsed(),
 		BandwidthGbps: t.V.BandwidthUsed(),
 		Tenants:       t.V.Tenants(),
-		Processed:     t.V.Pipe.Processed,
-		Recirculated:  t.V.Pipe.Recirculated,
+		Processed:     t.V.Pipe.Processed(),
+		Recirculated:  t.V.Pipe.Recirculated(),
 	}
 }

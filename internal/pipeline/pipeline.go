@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sfp/internal/packet"
 )
@@ -162,10 +164,19 @@ type Pipeline struct {
 	Cfg    Config
 	Stages []*Stage
 
-	// Processed and Recirculated count packets for observability.
-	Processed    uint64
-	Recirculated uint64
+	// processed and recirculated count packets for observability. Atomic:
+	// parallel replay workers may process packets on one pipeline
+	// concurrently (rule installation must still be serialized against
+	// processing, as on a real switch).
+	processed    atomic.Uint64
+	recirculated atomic.Uint64
 }
+
+// Processed returns the number of packets processed.
+func (pl *Pipeline) Processed() uint64 { return pl.processed.Load() }
+
+// Recirculated returns the number of recirculation events.
+func (pl *Pipeline) Recirculated() uint64 { return pl.recirculated.Load() }
 
 // New builds an empty pipeline from the configuration.
 func New(cfg Config) *Pipeline {
@@ -201,17 +212,35 @@ type Result struct {
 	TablesApplied int
 }
 
+// ctxPool recycles action contexts so Process stays allocation-free while
+// remaining safe for concurrent callers sharing one pipeline.
+var ctxPool = sync.Pool{New: func() any { return new(Context) }}
+
 // Process runs one packet through the pipeline, honoring recirculation
 // requests up to Cfg.MaxPasses, and returns the modeled result. nowNs is
 // the packet's arrival timestamp for time-dependent actions.
 func (pl *Pipeline) Process(p *packet.Packet, nowNs float64) Result {
+	ctx := ctxPool.Get().(*Context)
+	res := pl.ProcessCtx(p, nowNs, ctx)
+	ctxPool.Put(ctx)
+	return res
+}
+
+// ProcessCtx is Process with a caller-owned scratch Context, the
+// zero-overhead entry point for tight replay loops: one Context is reused
+// across stages and passes instead of being rebuilt per stage, so the whole
+// per-packet path performs no heap allocation. The scratch must not be
+// shared between concurrent callers.
+func (pl *Pipeline) ProcessCtx(p *packet.Packet, nowNs float64, ctx *Context) Result {
 	res := Result{LatencyNs: pl.Cfg.ParserNs}
-	pl.Processed++
+	pl.processed.Add(1)
 	for pass := 0; pass < pl.Cfg.MaxPasses; pass++ {
 		res.Passes++
 		p.Meta.Recirculate = false
 		for _, st := range pl.Stages {
-			ctx := &Context{StageIndex: st.Index, Regs: st.Regs, NowNs: nowNs + res.LatencyNs}
+			ctx.StageIndex = st.Index
+			ctx.Regs = st.Regs
+			ctx.NowNs = nowNs + res.LatencyNs
 			for _, t := range st.Tables {
 				if r := t.Apply(ctx, p); r != nil {
 					res.TablesApplied++
@@ -231,7 +260,7 @@ func (pl *Pipeline) Process(p *packet.Packet, nowNs float64) Result {
 		// Last-stage REC action fired: recirculate and bump the pass
 		// counter (§IV, "increase the pass by one").
 		p.Meta.Pass++
-		pl.Recirculated++
+		pl.recirculated.Add(1)
 		res.LatencyNs += pl.Cfg.RecircNs
 	}
 	res.LatencyNs += pl.Cfg.DeparserNs

@@ -46,8 +46,8 @@ func TestExactLookup(t *testing.T) {
 	if r := tbl.Apply(ctx, p2); r != nil {
 		t.Error("expected miss for other tenant")
 	}
-	if tbl.Hits != 1 || tbl.Misses != 1 {
-		t.Errorf("hits/misses = %d/%d, want 1/1", tbl.Hits, tbl.Misses)
+	if tbl.Hits() != 1 || tbl.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", tbl.Hits(), tbl.Misses())
 	}
 }
 
@@ -202,8 +202,8 @@ func TestRecirculation(t *testing.T) {
 	if res.LatencyNs != wantLat {
 		t.Errorf("latency = %v, want %v", res.LatencyNs, wantLat)
 	}
-	if pl.Recirculated != 1 {
-		t.Errorf("recirculated counter = %d, want 1", pl.Recirculated)
+	if pl.Recirculated() != 1 {
+		t.Errorf("recirculated counter = %d, want 1", pl.Recirculated())
 	}
 }
 

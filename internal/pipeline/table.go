@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"sfp/internal/packet"
 )
@@ -45,6 +46,12 @@ type Rule struct {
 }
 
 // Table is a match-action table resident in one stage.
+//
+// Lookup structures are maintained incrementally on Insert/DeleteTenant so
+// that Lookup itself is a pure read: concurrent Lookup/Apply calls from
+// parallel replay workers are safe as long as rule installation is not
+// racing with packet processing (the control plane serializes its own
+// updates, mirroring a real switch driver).
 type Table struct {
 	Name string
 	Keys []Key
@@ -58,25 +65,57 @@ type Table struct {
 	DefaultParams []uint64
 
 	actions map[string]ActionFunc
-	rules   []*Rule
-	sorted  bool
+	// rules holds every installed entry in insertion order (the canonical
+	// list used by Used, DeleteTenant, and capacity accounting).
+	rules []*Rule
+	// scan is the priority-ordered view scanned by generic (non-sharded)
+	// ternary/LPM/range lookups, kept sorted on Insert.
+	scan []*Rule
 
-	// exactIdx accelerates lookups for all-exact key specs.
-	exactIdx map[string]*Rule
+	// exactIdx accelerates lookups for all-exact key specs: FNV-1a over the
+	// packed key values -> collision bucket. Buckets are verified against
+	// the actual match values, so hash collisions cost a compare, never a
+	// wrong result.
+	exactIdx map[uint64][]*Rule
 
-	// Hits and Misses count lookups for observability.
-	Hits, Misses uint64
+	// shards buckets rules of tables whose key spec leads with exact
+	// (tenant_id, pass) — the shape of every physical NF table SFP installs
+	// (§IV) — by that packed prefix. A lookup then scans only the owning
+	// tenant's handful of rules instead of every tenant's, making per-packet
+	// cost flat in tenant count (the consolidation property virtualization
+	// is supposed to preserve).
+	shards map[uint64][]*Rule
+
+	// allExact / sharded cache the key-spec classification at build time so
+	// the hot path never re-derives it.
+	allExact bool
+	sharded  bool
+
+	// hits and misses count lookups for observability. Atomic: parallel
+	// replay workers may share one pipeline.
+	hits, misses atomic.Uint64
 }
 
 // NewTable creates a table with the given key specification and entry
 // capacity.
 func NewTable(name string, keys []Key, capacity int) *Table {
-	return &Table{
+	t := &Table{
 		Name:     name,
 		Keys:     keys,
 		Capacity: capacity,
 		actions:  make(map[string]ActionFunc),
 	}
+	t.allExact = len(keys) > 0
+	for _, k := range keys {
+		if k.Kind != MatchExact {
+			t.allExact = false
+			break
+		}
+	}
+	t.sharded = !t.allExact && len(keys) >= 2 &&
+		keys[0].Field == FieldTenantID && keys[0].Kind == MatchExact &&
+		keys[1].Field == FieldPass && keys[1].Kind == MatchExact
+	return t
 }
 
 // RegisterAction binds an action name usable by rules of this table.
@@ -90,29 +129,92 @@ func (t *Table) SetDefault(action string, params ...uint64) {
 	t.DefaultParams = params
 }
 
-// allExact reports whether every key is an exact match, enabling the map
-// index fast path.
-func (t *Table) allExact() bool {
-	for _, k := range t.Keys {
-		if k.Kind != MatchExact {
-			return false
-		}
+// Sharded reports whether lookups use the tenant-sharded index.
+func (t *Table) Sharded() bool { return t.sharded }
+
+// Hits returns the number of lookups that matched a rule.
+func (t *Table) Hits() uint64 { return t.hits.Load() }
+
+// Misses returns the number of lookups that fell through to the default.
+func (t *Table) Misses() uint64 { return t.misses.Load() }
+
+// FNV-1a constants for the exact-key hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashVal folds one 64-bit key value into an FNV-1a state, byte by byte.
+func hashVal(h, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ ((v >> uint(s)) & 0xff)) * fnvPrime64
 	}
-	return len(t.Keys) > 0
+	return h
 }
 
-func (t *Table) exactKeyOf(vals []uint64) string {
-	b := make([]byte, 0, len(vals)*8)
-	for _, v := range vals {
-		for s := 56; s >= 0; s -= 8 {
-			b = append(b, byte(v>>uint(s)))
+// ruleExactHash hashes a rule's exact-match values.
+func (t *Table) ruleExactHash(r *Rule) uint64 {
+	h := uint64(fnvOffset64)
+	for _, m := range r.Matches {
+		h = hashVal(h, m.Value)
+	}
+	return h
+}
+
+// packetExactHash hashes a packet's extracted key values.
+func (t *Table) packetExactHash(p *packet.Packet) uint64 {
+	h := uint64(fnvOffset64)
+	for _, k := range t.Keys {
+		h = hashVal(h, Extract(p, k.Field))
+	}
+	return h
+}
+
+// shardKey packs a (tenant, pass) pair. Pass is an 8-bit field; values that
+// exceed the packing (unreachable from real packets) merely alias into
+// another bucket, where full match verification rejects them.
+func shardKey(tenant, pass uint64) uint64 {
+	return tenant<<8 | pass&0xff
+}
+
+// precedes reports whether rule a must be scanned before rule b: higher
+// priority first, then longer max prefix (LPM longest-match), with ties
+// keeping insertion order. This is exactly the comparator the legacy lazy
+// sort used, so sharded and generic scans agree on every tie-break.
+func precedes(a, b *Rule) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return maxPrefix(a) > maxPrefix(b)
+}
+
+// insertOrdered places r into a list kept sorted by precedes, after any
+// equal-ordered rules (stable).
+func insertOrdered(list []*Rule, r *Rule) []*Rule {
+	pos := sort.Search(len(list), func(i int) bool { return precedes(r, list[i]) })
+	list = append(list, nil)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = r
+	return list
+}
+
+// removeRule deletes the first occurrence of r (by pointer) from list.
+func removeRule(list []*Rule, r *Rule) []*Rule {
+	for i, x := range list {
+		if x == r {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
 		}
 	}
-	return string(b)
+	return list
 }
 
 // Insert adds a rule. It fails if the table is at capacity, if the rule's
-// match arity differs from the key spec, or if the action is unregistered.
+// match arity differs from the key spec, if the action is unregistered, or —
+// for all-exact tables — if a rule with the identical key already exists
+// (real switch drivers reject duplicate exact entries; silently shadowing
+// the old rule would leak capacity and resurrect it on index rebuilds).
 func (t *Table) Insert(r *Rule) error {
 	if len(r.Matches) != len(t.Keys) {
 		return fmt.Errorf("table %s: rule has %d matches, key spec has %d", t.Name, len(r.Matches), len(t.Keys))
@@ -123,44 +225,79 @@ func (t *Table) Insert(r *Rule) error {
 	if len(t.rules) >= t.Capacity {
 		return fmt.Errorf("table %s: capacity %d exhausted", t.Name, t.Capacity)
 	}
-	t.rules = append(t.rules, r)
-	t.sorted = false
-	if t.allExact() {
+	switch {
+	case t.allExact:
+		h := t.ruleExactHash(r)
+		for _, prev := range t.exactIdx[h] {
+			if exactValuesEqual(prev, r) {
+				return fmt.Errorf("table %s: duplicate exact key (existing rule tenant %d)", t.Name, prev.Tenant)
+			}
+		}
 		if t.exactIdx == nil {
-			t.exactIdx = make(map[string]*Rule)
+			t.exactIdx = make(map[uint64][]*Rule)
 		}
-		vals := make([]uint64, len(r.Matches))
-		for i, m := range r.Matches {
-			vals[i] = m.Value
+		t.exactIdx[h] = append(t.exactIdx[h], r)
+	case t.sharded:
+		if t.shards == nil {
+			t.shards = make(map[uint64][]*Rule)
 		}
-		t.exactIdx[t.exactKeyOf(vals)] = r
+		k := shardKey(r.Matches[0].Value, r.Matches[1].Value)
+		t.shards[k] = insertOrdered(t.shards[k], r)
+	default:
+		t.scan = insertOrdered(t.scan, r)
 	}
+	t.rules = append(t.rules, r)
 	return nil
 }
 
+// exactValuesEqual reports whether two rules carry identical exact-key
+// values.
+func exactValuesEqual(a, b *Rule) bool {
+	for i := range a.Matches {
+		if a.Matches[i].Value != b.Matches[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
 // DeleteTenant removes every rule owned by the tenant and returns how many
-// entries were freed.
+// entries were freed. Only the departing tenant's index entries are touched
+// — the other tenants' shards and exact buckets are left untouched, so churn
+// cost is proportional to the departing tenant's rules, not the table size.
 func (t *Table) DeleteTenant(tenant uint32) int {
 	kept := t.rules[:0]
 	freed := 0
 	for _, r := range t.rules {
-		if r.Tenant == tenant {
-			freed++
+		if r.Tenant != tenant {
+			kept = append(kept, r)
 			continue
 		}
-		kept = append(kept, r)
-	}
-	t.rules = kept
-	if freed > 0 && t.exactIdx != nil {
-		t.exactIdx = make(map[string]*Rule)
-		for _, r := range t.rules {
-			vals := make([]uint64, len(r.Matches))
-			for i, m := range r.Matches {
-				vals[i] = m.Value
+		freed++
+		switch {
+		case t.allExact:
+			h := t.ruleExactHash(r)
+			if b := removeRule(t.exactIdx[h], r); len(b) > 0 {
+				t.exactIdx[h] = b
+			} else {
+				delete(t.exactIdx, h)
 			}
-			t.exactIdx[t.exactKeyOf(vals)] = r
+		case t.sharded:
+			k := shardKey(r.Matches[0].Value, r.Matches[1].Value)
+			if s := removeRule(t.shards[k], r); len(s) > 0 {
+				t.shards[k] = s
+			} else {
+				delete(t.shards, k)
+			}
+		default:
+			t.scan = removeRule(t.scan, r)
 		}
 	}
+	// Clear the tail so freed rules are collectable.
+	for i := len(kept); i < len(t.rules); i++ {
+		t.rules[i] = nil
+	}
+	t.rules = kept
 	return freed
 }
 
@@ -177,47 +314,54 @@ func (t *Table) RuleWidthBits() int {
 	return w
 }
 
-// Lookup finds the highest-priority matching rule, or nil on miss.
+// Lookup finds the highest-priority matching rule, or nil on miss. The hot
+// path is allocation-free: exact tables hash the extracted key values
+// directly, sharded tables scan only the packet's (tenant, pass) bucket,
+// and generic tables scan the pre-sorted rule list.
 func (t *Table) Lookup(p *packet.Packet) *Rule {
-	if t.exactIdx != nil && t.allExact() {
-		vals := make([]uint64, len(t.Keys))
-		for i, k := range t.Keys {
-			vals[i] = Extract(p, k.Field)
+	if t.allExact {
+		for _, r := range t.exactIdx[t.packetExactHash(p)] {
+			if t.exactMatches(r, p) {
+				t.hits.Add(1)
+				return r
+			}
 		}
-		if r, ok := t.exactIdx[t.exactKeyOf(vals)]; ok {
-			t.Hits++
-			return r
-		}
-		t.Misses++
+		t.misses.Add(1)
 		return nil
 	}
-	if !t.sorted {
-		// LPM tables order by prefix length (longest first), others by
-		// priority. A stable sort keeps insertion order among ties.
-		sort.SliceStable(t.rules, func(i, j int) bool {
-			a, b := t.rules[i], t.rules[j]
-			if a.Priority != b.Priority {
-				return a.Priority > b.Priority
-			}
-			return maxPrefix(a) > maxPrefix(b)
-		})
-		t.sorted = true
+	list := t.scan
+	if t.sharded {
+		list = t.shards[shardKey(Extract(p, t.Keys[0].Field), Extract(p, t.Keys[1].Field))]
 	}
-	for _, r := range t.rules {
-		ok := true
-		for i, k := range t.Keys {
-			if !r.Matches[i].matches(Extract(p, k.Field), k.Kind, k.Field.Bits()) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			t.Hits++
+	for _, r := range list {
+		if t.ruleMatches(r, p) {
+			t.hits.Add(1)
 			return r
 		}
 	}
-	t.Misses++
+	t.misses.Add(1)
 	return nil
+}
+
+// exactMatches verifies an exact-index candidate against the packet,
+// guarding against hash collisions.
+func (t *Table) exactMatches(r *Rule, p *packet.Packet) bool {
+	for i, k := range t.Keys {
+		if Extract(p, k.Field) != r.Matches[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleMatches evaluates every key of r against the packet.
+func (t *Table) ruleMatches(r *Rule, p *packet.Packet) bool {
+	for i, k := range t.Keys {
+		if !r.Matches[i].matches(Extract(p, k.Field), k.Kind, k.Field.Bits()) {
+			return false
+		}
+	}
+	return true
 }
 
 func maxPrefix(r *Rule) int {

@@ -45,7 +45,7 @@ type Telemetry struct {
 // Snapshot collects per-stage and per-table counters for operators (the
 // observability surface a real switch exposes via its driver).
 func (pl *Pipeline) Snapshot() Telemetry {
-	t := Telemetry{Processed: pl.Processed, Recirculated: pl.Recirculated}
+	t := Telemetry{Processed: pl.Processed(), Recirculated: pl.Recirculated()}
 	for _, st := range pl.Stages {
 		ss := StageStats{
 			Stage:           st.Index,
@@ -60,8 +60,8 @@ func (pl *Pipeline) Snapshot() Telemetry {
 				Name:     tbl.Name,
 				Capacity: tbl.Capacity,
 				Used:     tbl.Used(),
-				Hits:     tbl.Hits,
-				Misses:   tbl.Misses,
+				Hits:     tbl.Hits(),
+				Misses:   tbl.Misses(),
 			})
 		}
 		sort.Slice(ss.Tables, func(i, j int) bool { return ss.Tables[i].Name < ss.Tables[j].Name })

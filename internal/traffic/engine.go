@@ -1,0 +1,167 @@
+package traffic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+)
+
+// Processor consumes one packet at a simulated timestamp. Both
+// *pipeline.Pipeline and *vswitch.VSwitch satisfy it.
+type Processor interface {
+	Process(p *packet.Packet, nowNs float64) pipeline.Result
+}
+
+// Item is one packet of a replay workload together with its arrival
+// timestamp. Workloads are pre-generated (so RNG draw order is independent
+// of worker count) and then replayed by the Engine.
+type Item struct {
+	Pkt   *packet.Packet
+	NowNs float64
+}
+
+// EngineStats aggregates one replay. Per-worker tallies are merged in
+// worker-index order, so a run with a fixed worker count is deterministic,
+// and a run with Workers=1 is bit-for-bit identical to a plain sequential
+// loop over the same items.
+type EngineStats struct {
+	// Packets is the number of items replayed.
+	Packets int
+	// Drops counts packets the pipeline dropped.
+	Drops int
+	// Passes is the maximum pass count observed across packets.
+	Passes int
+	// LatencySumNs accumulates modeled latency of all packets.
+	LatencySumNs float64
+	// TablesApplied sums matched tables across packets.
+	TablesApplied int
+	// Latencies holds per-packet latencies in workload order when
+	// Engine.KeepLatencies is set (dropped packets record NaN-free 0 and are
+	// excluded from LatencySumNs, matching the sequential reference loop).
+	Latencies []float64
+}
+
+// MeanLatencyNs returns the average latency over non-dropped packets.
+func (s EngineStats) MeanLatencyNs() float64 {
+	n := s.Packets - s.Drops
+	if n <= 0 {
+		return 0
+	}
+	return s.LatencySumNs / float64(n)
+}
+
+// Engine replays a pre-generated workload across N worker goroutines, each
+// over its own Processor (typically a per-worker pipeline clone built by
+// New), and merges the per-worker statistics. With stateless NFs the same
+// Processor may be shared by every worker: lookups are read-only and the
+// pipeline counters are atomic.
+type Engine struct {
+	// Workers is the goroutine count; <= 0 selects GOMAXPROCS. Workers=1
+	// reproduces a sequential replay exactly.
+	Workers int
+	// New builds the processor for one worker (called once per worker, in
+	// worker order, before any packet is processed). Returning the same
+	// value for every worker is allowed when processing is stateless.
+	New func(worker int) (Processor, error)
+	// KeepLatencies records per-packet latencies in EngineStats.Latencies.
+	KeepLatencies bool
+}
+
+// workerTally is one worker's private accumulator.
+type workerTally struct {
+	drops      int
+	passes     int
+	latencySum float64
+	applied    int
+	latencies  []float64
+}
+
+// Replay pushes every item through a worker's processor. Items are split
+// into contiguous chunks (worker w replays items[w*n/W : (w+1)*n/W] in
+// order), so per-flow packet order is preserved within a chunk and the
+// Workers=1 case degenerates to the exact sequential loop.
+func (e *Engine) Replay(items []Item) (EngineStats, error) {
+	if e.New == nil {
+		return EngineStats{}, fmt.Errorf("traffic: engine needs a processor factory")
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	procs := make([]Processor, workers)
+	for w := 0; w < workers; w++ {
+		proc, err := e.New(w)
+		if err != nil {
+			return EngineStats{}, fmt.Errorf("traffic: engine worker %d: %w", w, err)
+		}
+		procs[w] = proc
+	}
+
+	tallies := make([]workerTally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := len(items)*w/workers, len(items)*(w+1)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t := &tallies[w]
+			if e.KeepLatencies {
+				t.latencies = make([]float64, 0, hi-lo)
+			}
+			for _, it := range items[lo:hi] {
+				res := procs[w].Process(it.Pkt, it.NowNs)
+				if res.Passes > t.passes {
+					t.passes = res.Passes
+				}
+				t.applied += res.TablesApplied
+				if res.Dropped {
+					t.drops++
+					continue
+				}
+				t.latencySum += res.LatencyNs
+				if e.KeepLatencies {
+					t.latencies = append(t.latencies, res.LatencyNs)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	stats := EngineStats{Packets: len(items)}
+	for w := range tallies {
+		t := &tallies[w]
+		stats.Drops += t.drops
+		if t.passes > stats.Passes {
+			stats.Passes = t.passes
+		}
+		stats.LatencySumNs += t.latencySum
+		stats.TablesApplied += t.applied
+		if e.KeepLatencies {
+			stats.Latencies = append(stats.Latencies, t.latencies...)
+		}
+	}
+	return stats, nil
+}
+
+// GenItems draws n packets of the given wire size from the generator with
+// arrival timestamps spaced spacingNs apart — the workload shape of the
+// Fig. 4/5 replay loops. RNG draws happen here, once, in generation order,
+// so the resulting workload is identical no matter how many workers later
+// replay it.
+func GenItems(gen *FlowGen, n, size int, spacingNs float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Pkt: gen.Next(size), NowNs: float64(i) * spacingNs}
+	}
+	return items
+}

@@ -1,0 +1,187 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/packet"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+var engineVIP = packet.IPv4Addr(20, 0, 0, 1)
+
+// newEngineSwitch builds a 2-NF (firewall -> router) switch with tenant 7's
+// chain allocated, the minimal data plane the engine tests replay against.
+func newEngineSwitch() (*vswitch.VSwitch, error) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	if _, err := v.InstallPhysicalNF(0, nf.Firewall, 100); err != nil {
+		return nil, err
+	}
+	if _, err := v.InstallPhysicalNF(1, nf.Router, 100); err != nil {
+		return nil, err
+	}
+	sfc := &vswitch.SFC{
+		Tenant:        7,
+		BandwidthGbps: 10,
+		NFs: []*nf.Config{
+			{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+				Action:  "permit",
+			}}},
+			{Type: nf.Router, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Prefix(uint64(packet.IPv4Addr(20, 0, 0, 0)), 8)},
+				Action:  "fwd", Params: []uint64{3},
+			}}},
+		},
+	}
+	if _, err := v.Allocate(sfc); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// genWorkload draws n packets with a fixed seed so two calls produce
+// identical (but independent) workloads.
+func genWorkload(seed int64, n int) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	gen := NewFlowGen(rng, 7, engineVIP, 32)
+	return GenItems(gen, n, 128, 1000)
+}
+
+// TestEngineWorker1MatchesSequential: the engine at Workers=1 must be
+// bit-for-bit identical to a plain sequential loop over the same workload.
+func TestEngineWorker1MatchesSequential(t *testing.T) {
+	const n = 400
+	// Sequential reference.
+	vs, err := newEngineSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum float64
+	wantPasses, wantDrops := 0, 0
+	var wantLats []float64
+	for _, it := range genWorkload(3, n) {
+		res := vs.Process(it.Pkt, it.NowNs)
+		if res.Passes > wantPasses {
+			wantPasses = res.Passes
+		}
+		if res.Dropped {
+			wantDrops++
+			continue
+		}
+		wantSum += res.LatencyNs
+		wantLats = append(wantLats, res.LatencyNs)
+	}
+
+	eng := Engine{
+		Workers:       1,
+		New:           func(int) (Processor, error) { v, err := newEngineSwitch(); return v, err },
+		KeepLatencies: true,
+	}
+	stats, err := eng.Replay(genWorkload(3, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets != n || stats.Drops != wantDrops || stats.Passes != wantPasses {
+		t.Errorf("packets/drops/passes = %d/%d/%d, want %d/%d/%d",
+			stats.Packets, stats.Drops, stats.Passes, n, wantDrops, wantPasses)
+	}
+	if stats.LatencySumNs != wantSum {
+		t.Errorf("latency sum = %v, want %v (must be bit-identical at workers=1)", stats.LatencySumNs, wantSum)
+	}
+	if len(stats.Latencies) != len(wantLats) {
+		t.Fatalf("latencies len = %d, want %d", len(stats.Latencies), len(wantLats))
+	}
+	for i := range wantLats {
+		if stats.Latencies[i] != wantLats[i] {
+			t.Fatalf("latency[%d] = %v, want %v", i, stats.Latencies[i], wantLats[i])
+		}
+	}
+}
+
+// TestEngineWorkersAgree: per-packet results are independent of worker
+// count; aggregate sums agree to float tolerance.
+func TestEngineWorkersAgree(t *testing.T) {
+	const n = 600
+	run := func(workers int) EngineStats {
+		eng := Engine{
+			Workers:       workers,
+			New:           func(int) (Processor, error) { v, err := newEngineSwitch(); return v, err },
+			KeepLatencies: true,
+		}
+		stats, err := eng.Replay(genWorkload(9, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	seq := run(1)
+	par := run(4)
+	if par.Packets != seq.Packets || par.Drops != seq.Drops || par.Passes != seq.Passes {
+		t.Errorf("parallel packets/drops/passes = %d/%d/%d, want %d/%d/%d",
+			par.Packets, par.Drops, par.Passes, seq.Packets, seq.Drops, seq.Passes)
+	}
+	// Chunks are contiguous and merged in worker order, so per-packet
+	// latencies line up exactly with the sequential ordering.
+	for i := range seq.Latencies {
+		if par.Latencies[i] != seq.Latencies[i] {
+			t.Fatalf("latency[%d] = %v parallel vs %v sequential", i, par.Latencies[i], seq.Latencies[i])
+		}
+	}
+	if diff := math.Abs(par.LatencySumNs - seq.LatencySumNs); diff > 1e-6*seq.LatencySumNs {
+		t.Errorf("latency sums diverge: %v vs %v", par.LatencySumNs, seq.LatencySumNs)
+	}
+}
+
+// TestEngineSharedProcessor runs every worker against ONE shared switch —
+// legal for stateless NFs now that pipeline counters are atomic and lookups
+// are read-only. Meaningful under -race; also checks no count is lost.
+func TestEngineSharedProcessor(t *testing.T) {
+	vs, err := newEngineSwitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	eng := Engine{
+		Workers: 8,
+		New:     func(int) (Processor, error) { return vs, nil },
+	}
+	stats, err := eng.Replay(genWorkload(5, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packets != n {
+		t.Errorf("packets = %d, want %d", stats.Packets, n)
+	}
+	if got := vs.Pipe.Processed(); got != n {
+		t.Errorf("pipeline processed = %d, want %d (lost atomic updates)", got, n)
+	}
+}
+
+// TestEngineErrors: factory failures and a missing factory surface as
+// errors, not panics.
+func TestEngineErrors(t *testing.T) {
+	eng := Engine{Workers: 2}
+	if _, err := eng.Replay(genWorkload(1, 4)); err == nil {
+		t.Error("nil factory accepted")
+	}
+	eng.New = func(w int) (Processor, error) {
+		if w == 1 {
+			return nil, errFake
+		}
+		v, err := newEngineSwitch()
+		return v, err
+	}
+	if _, err := eng.Replay(genWorkload(1, 4)); err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+var errFake = fakeErr("boom")
+
+type fakeErr string
+
+func (e fakeErr) Error() string { return string(e) }

@@ -133,15 +133,9 @@ type ReplayStats struct {
 	ByTenant map[uint32]int
 }
 
-// Processor runs one packet at a simulated time — satisfied by
-// vswitch.VSwitch.Process via a small adapter, kept as a local interface so
-// traffic does not import the data plane.
-type Processor interface {
-	Process(p *packet.Packet, nowNs float64) (latencyNs float64, passes int, dropped bool)
-}
-
-// Replay pushes every trace record through the processor in timestamp
-// order and aggregates the outcome.
+// Replay pushes every trace record through the processor (see Processor in
+// engine.go — satisfied by vswitch.VSwitch and pipeline.Pipeline directly)
+// in timestamp order and aggregates the outcome.
 func Replay(tr *TraceReader, proc Processor) (ReplayStats, error) {
 	st := ReplayStats{ByTenant: map[uint32]int{}}
 	total := 0.0
@@ -153,16 +147,16 @@ func Replay(tr *TraceReader, proc Processor) (ReplayStats, error) {
 		if err != nil {
 			return st, err
 		}
-		lat, passes, dropped := proc.Process(rec.Packet(), rec.TimestampNs)
+		res := proc.Process(rec.Packet(), rec.TimestampNs)
 		st.Packets++
 		st.ByTenant[rec.Tenant]++
-		if dropped {
+		if res.Dropped {
 			st.Drops++
 			continue
 		}
-		total += lat
-		if passes > st.MaxPasses {
-			st.MaxPasses = passes
+		total += res.LatencyNs
+		if res.Passes > st.MaxPasses {
+			st.MaxPasses = res.Passes
 		}
 	}
 	if delivered := st.Packets - st.Drops; delivered > 0 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sfp/internal/packet"
+	"sfp/internal/pipeline"
 )
 
 func TestTraceRoundTrip(t *testing.T) {
@@ -89,12 +90,12 @@ func TestSynthesizeTraceValidation(t *testing.T) {
 // fakeProc counts invocations and drops every 5th packet.
 type fakeProc struct{ n int }
 
-func (f *fakeProc) Process(p *packet.Packet, nowNs float64) (float64, int, bool) {
+func (f *fakeProc) Process(p *packet.Packet, nowNs float64) pipeline.Result {
 	f.n++
 	if f.n%5 == 0 {
-		return 0, 0, true
+		return pipeline.Result{Dropped: true}
 	}
-	return 300 + float64(f.n%3), 1 + f.n%2, false
+	return pipeline.Result{LatencyNs: 300 + float64(f.n%3), Passes: 1 + f.n%2}
 }
 
 func TestReplayAggregates(t *testing.T) {

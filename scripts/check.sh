@@ -1,8 +1,78 @@
 #!/usr/bin/env bash
 # Tier-1 verification: vet, build, and the full test suite under the race
 # detector. CI and pre-merge checks run exactly this script.
+#
+#   scripts/check.sh         vet + build + race tests
+#   scripts/check.sh bench   fast-path micro-benchmarks; writes
+#                            BENCH_fastpath.json and fails if any hot-path
+#                            benchmark allocates, or if the 1024-tenant
+#                            lookup is more than 3x the 1-tenant lookup.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "bench" ]]; then
+    echo "== go test -bench (fast path)"
+    out=$(go test -run '^$' \
+        -bench 'BenchmarkLookupTenants|BenchmarkExactLookup|BenchmarkProcess$|BenchmarkProcessCtx|BenchmarkDeleteTenantChurn' \
+        -benchmem ./internal/pipeline/)
+    echo "$out"
+    pout=$(go test -run '^$' -bench 'BenchmarkProcessParallel' -benchmem ./internal/traffic/)
+    echo "$pout"
+
+    printf '%s\n%s\n' "$out" "$pout" | awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+            order[n++] = name
+        }
+        END {
+            printf "{\n"
+            printf "  \"date\": \"'"$(date -u +%Y-%m-%dT%H:%M:%SZ)"'\",\n"
+            printf "  \"note\": \"before = pre-fastpath baseline (linear scan, per-stage Context allocs); after = tenant-sharded index + pooled Context\",\n"
+            printf "  \"before\": {\n"
+            printf "    \"BenchmarkLookupTenants1\":    {\"ns_op\": 144.7,   \"allocs_op\": 0},\n"
+            printf "    \"BenchmarkLookupTenants64\":   {\"ns_op\": 3030,    \"allocs_op\": 0},\n"
+            printf "    \"BenchmarkLookupTenants1024\": {\"ns_op\": 59641,   \"allocs_op\": 0},\n"
+            printf "    \"BenchmarkExactLookup\":       {\"ns_op\": 98.68,   \"allocs_op\": 2},\n"
+            printf "    \"BenchmarkProcess\":           {\"ns_op\": 3098,    \"allocs_op\": 8},\n"
+            printf "    \"BenchmarkDeleteTenantChurn\": {\"ns_op\": 592194,  \"allocs_op\": 6191}\n"
+            printf "  },\n"
+            printf "  \"after\": {\n"
+            for (i = 0; i < n; i++) {
+                name = order[i]
+                printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n", \
+                    name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+            }
+            printf "  }\n}\n"
+        }' > BENCH_fastpath.json
+    echo "== wrote BENCH_fastpath.json"
+
+    # Hot-path benchmarks must not allocate.
+    fail=0
+    while read -r name allocs; do
+        if [[ "$allocs" != "0" ]]; then
+            echo "FAIL: $name allocates $allocs allocs/op (want 0)" >&2
+            fail=1
+        fi
+    done < <(printf '%s\n' "$out" | awk '
+        /^BenchmarkLookupTenants|^BenchmarkExactLookup|^BenchmarkProcess-|^BenchmarkProcessCtx-/ {
+            name = $1; sub(/-[0-9]+$/, "", name); print name, $7
+        }')
+
+    # Sharded lookup must be flat in tenant count: 1024 tenants <= 3x 1 tenant.
+    read -r t1 t1024 < <(printf '%s\n' "$out" | awk '
+        /^BenchmarkLookupTenants1-/    { a = $3 }
+        /^BenchmarkLookupTenants1024-/ { b = $3 }
+        END { print a, b }')
+    if awk -v a="$t1" -v b="$t1024" 'BEGIN { exit !(b > 3 * a) }'; then
+        echo "FAIL: LookupTenants1024 ($t1024 ns/op) > 3x LookupTenants1 ($t1 ns/op)" >&2
+        fail=1
+    fi
+
+    [[ "$fail" == 0 ]] || exit 1
+    echo "== bench checks passed (0 allocs/op on hot path, 1024-tenant lookup within 3x of 1-tenant)"
+    exit 0
+fi
 
 echo "== go vet ./..."
 go vet ./...
