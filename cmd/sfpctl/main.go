@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sfp/internal/model"
@@ -31,6 +32,7 @@ func main() {
 		noConsol  = flag.Bool("no-consolidate", false, "disable same-type NF consolidation (Eq. 25 memory)")
 		timeLimit = flag.Duration("time-limit", 60*time.Second, "IP solver time limit")
 		seed      = flag.Int64("seed", 1, "randomized-rounding seed")
+		solverW   = flag.Int("solver-workers", 1, "solver workers: branch-and-bound for ip, concurrent recirculation trials for appro (0 = GOMAXPROCS; 1 = serial reference; same result for a fixed seed at any count)")
 	)
 	flag.Parse()
 	if *chainsF == "" {
@@ -60,13 +62,17 @@ func main() {
 		fatal(err)
 	}
 
+	workers := *solverW
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	build := model.BuildOptions{Consolidate: !*noConsol}
 	var res *placement.Result
 	switch *algo {
 	case "ip":
-		res, err = placement.SolveIP(in, placement.IPOptions{Build: build, TimeLimit: *timeLimit})
+		res, err = placement.SolveIP(in, placement.IPOptions{Build: build, TimeLimit: *timeLimit, Workers: workers})
 	case "appro":
-		res, err = placement.SolveApprox(in, placement.ApproxOptions{Build: build, Seed: *seed})
+		res, err = placement.SolveApprox(in, placement.ApproxOptions{Build: build, Seed: *seed, Workers: workers})
 	case "greedy":
 		res, err = placement.SolveGreedy(in, placement.GreedyOptions{Consolidate: !*noConsol})
 	default:

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"sfp/internal/experiments"
@@ -22,6 +23,7 @@ func main() {
 		figs    = flag.String("fig", "all", "comma-separated figure numbers (4..11), 'savings', or 'all'")
 		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
 		workers = flag.Int("workers", 1, "traffic-engine workers for the data-plane figures (0 = GOMAXPROCS; 1 = sequential reference)")
+		solverW = flag.Int("solver-workers", 1, "control-plane solver workers for the placement figures (0 = GOMAXPROCS; 1 = serial reference; same results for fixed seeds at any count)")
 	)
 	flag.Parse()
 
@@ -34,6 +36,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "sfpexp: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	sc.SolverWorkers = *solverW
+	if sc.SolverWorkers == 0 {
+		sc.SolverWorkers = runtime.GOMAXPROCS(0)
 	}
 
 	want := map[string]bool{}

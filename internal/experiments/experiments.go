@@ -92,6 +92,11 @@ type Scale struct {
 	Recirc int
 	// MeanChainLen is J̄ (paper: 5).
 	MeanChainLen int
+	// SolverWorkers sets the control-plane solver worker count for the
+	// placement figures: branch-and-bound workers for SFP-IP and concurrent
+	// recirculation trials for SFP-Appro (0 or 1 = serial reference).
+	// Results for a fixed seed are identical at any worker count.
+	SolverWorkers int
 }
 
 // QuickScale returns a configuration that regenerates every figure's shape

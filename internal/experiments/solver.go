@@ -25,6 +25,7 @@ func Fig8(scale Scale) (*Table, error) {
 			res, err := placement.SolveIP(in, placement.IPOptions{
 				Build:     model.BuildOptions{Consolidate: true},
 				TimeLimit: cap,
+				Workers:   scale.SolverWorkers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig8 IP L=%d: %w", L, err)
@@ -42,6 +43,7 @@ func Fig8(scale Scale) (*Table, error) {
 			in := genInstance(int64(800+10*L+s), L, scale.MeanChainLen, scale.Recirc)
 			res, err := placement.SolveApprox(in, placement.ApproxOptions{
 				Build: model.BuildOptions{Consolidate: true}, Seed: int64(s),
+				Workers: scale.SolverWorkers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig8 approx L=%d: %w", L, err)
@@ -73,6 +75,7 @@ func Fig9(scale Scale) (*Table, error) {
 			Build:       model.BuildOptions{Consolidate: true},
 			TimeLimit:   time.Duration(lim * float64(time.Second)),
 			NoWarmStart: true, // the paper's cold solver returns 0 at 5s
+			Workers:     scale.SolverWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -93,6 +96,7 @@ func Fig9(scale Scale) (*Table, error) {
 	// Reference: the one-shot approximation on the same instance.
 	ap, err := placement.SolveApprox(in, placement.ApproxOptions{
 		Build: model.BuildOptions{Consolidate: true}, Seed: 9,
+		Workers: scale.SolverWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +123,7 @@ func Fig10(scale Scale) (*Table, error) {
 			in := genInstanceSw(int64(1000+10*L+s), L, scale.MeanChainLen, scale.Recirc, scale.Fig10Switch)
 			apRes, err := placement.SolveApprox(in, placement.ApproxOptions{
 				Build: model.BuildOptions{Consolidate: true}, Seed: int64(s),
+				Workers: scale.SolverWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -132,6 +137,7 @@ func Fig10(scale Scale) (*Table, error) {
 			ipRes, err := placement.SolveIP(in, placement.IPOptions{
 				Build: model.BuildOptions{Consolidate: true}, TimeLimit: cap,
 				WarmFrom: apRes.Assignment,
+				Workers:  scale.SolverWorkers,
 			})
 			if err != nil {
 				return nil, err

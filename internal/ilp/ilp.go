@@ -99,6 +99,20 @@ type Options struct {
 	LPOpts lp.Options
 	// Trace, if set, receives one diagnostic line per explored node.
 	Trace io.Writer
+	// Workers sets the number of concurrent branch-and-bound workers.
+	// 0 or 1 runs the serial engine, which reproduces the pre-parallel node
+	// order and result bit for bit; n > 1 explores the tree with n workers
+	// sharing the incumbent and a best-bound node queue (same optimum, node
+	// order may differ). Callers wanting "all cores" pass
+	// runtime.GOMAXPROCS(0) themselves.
+	Workers int
+	// WarmNodeLP warm-starts each node LP from its parent's optimal basis
+	// (dual simplex over the full problem). Off by default for two measured
+	// reasons: node presolve shrinks child LPs (whose fixed variables
+	// multiply at depth) more than a full-size dual re-solve saves, and
+	// warm solves can land on a different optimal vertex of a degenerate
+	// LP, perturbing the node order away from the pinned serial trace.
+	WarmNodeLP bool
 }
 
 func (o Options) withDefaults() Options {
@@ -149,6 +163,9 @@ type node struct {
 	changes []boundChange
 	bound   float64 // parent LP bound (optimistic estimate)
 	depth   int
+	// warm is the parent node's optimal basis (shared read-only between
+	// siblings); the node LP dual-simplex warm-starts from it.
+	warm *lp.Basis
 }
 
 // nodeHeap is a max-heap on bound with depth-first tie-breaking (deeper
@@ -175,6 +192,12 @@ func (h *nodeHeap) Pop() any {
 // Solve runs branch and bound.
 func Solve(p *Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	// Build the shared CSC form once, up front: every node LP clone reuses
+	// it, and parallel workers must not race to create their own.
+	p.LP.Presparse()
+	if opts.Workers > 1 {
+		return solveParallel(p, opts)
+	}
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
@@ -267,7 +290,11 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		for _, ch := range nd.changes {
 			q.SetBounds(ch.v, ch.lo, ch.hi)
 		}
-		sol, err := q.Solve(opts.LPOpts)
+		lpOpts := opts.LPOpts
+		if opts.WarmNodeLP {
+			lpOpts.WarmBasis = nd.warm
+		}
+		sol, err := q.Solve(lpOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -372,8 +399,12 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 
 		v := sol.X[branchVar]
 		lo, hi := q.Bounds(branchVar)
-		down := &node{changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, lo, math.Floor(v)}), bound: sol.Objective, depth: nd.depth + 1}
-		up := &node{changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, math.Ceil(v), hi}), bound: sol.Objective, depth: nd.depth + 1}
+		var childWarm *lp.Basis
+		if opts.WarmNodeLP {
+			childWarm = sol.Basis // shared by both children, read-only
+		}
+		down := &node{changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, lo, math.Floor(v)}), bound: sol.Objective, depth: nd.depth + 1, warm: childWarm}
+		up := &node{changes: append(append([]boundChange{}, nd.changes...), boundChange{branchVar, math.Ceil(v), hi}), bound: sol.Objective, depth: nd.depth + 1, warm: childWarm}
 		if bestX == nil {
 			// Dive up-first for binary-like variables: forcing a selection
 			// to 1 collapses its at-most-one row and drives the LP toward

@@ -1,0 +1,197 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fixedSuite returns named LPs covering the simplex's edge regimes:
+// degenerate vertices (redundant constraints), Beale's classic cycling
+// example (the standard Bland's-rule trigger), bound flips, and mixed
+// operator rows. The cross-check below solves each with the sparse kernels
+// and with ForceDense and requires bit-identical results.
+func fixedSuite() map[string]func() *Problem {
+	return map[string]func() *Problem{
+		"degenerate-vertex": func() *Problem {
+			p := NewProblem(2)
+			p.SetObjective(0, 1)
+			p.SetObjective(1, 1)
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}}, Op: LE, RHS: 1})
+			p.AddRow(Row{Coeffs: []Coef{{1, 1}}, Op: LE, RHS: 1})
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 1}}, Op: LE, RHS: 2})
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 2}}, Op: LE, RHS: 3})
+			return p
+		},
+		"beale-cycling": func() *Problem {
+			// Beale (1955): cycles under naive Dantzig pricing without an
+			// anti-cycling rule. Stated as a maximization; optimum 0.05 at
+			// x = (0.04, 0, 1, 0).
+			p := NewProblem(4)
+			p.SetObjective(0, 0.75)
+			p.SetObjective(1, -150)
+			p.SetObjective(2, 0.02)
+			p.SetObjective(3, -6)
+			p.AddRow(Row{Coeffs: []Coef{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, Op: LE, RHS: 0})
+			p.AddRow(Row{Coeffs: []Coef{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, Op: LE, RHS: 0})
+			p.AddRow(Row{Coeffs: []Coef{{2, 1}}, Op: LE, RHS: 1})
+			return p
+		},
+		"degenerate-origin": func() *Problem {
+			// Every constraint passes through the phase-1 starting vertex:
+			// all pivots at the origin are degenerate.
+			p := NewProblem(3)
+			for j := 0; j < 3; j++ {
+				p.SetObjective(j, float64(3-j))
+			}
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, -1}}, Op: LE, RHS: 0})
+			p.AddRow(Row{Coeffs: []Coef{{1, 1}, {2, -1}}, Op: LE, RHS: 0})
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {2, -1}}, Op: LE, RHS: 0})
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 1}, {2, 1}}, Op: LE, RHS: 3})
+			return p
+		},
+		"mixed-ops-bounded": func() *Problem {
+			p := NewProblem(3)
+			p.SetObjective(0, 2)
+			p.SetObjective(1, -1)
+			p.SetObjective(2, 3)
+			p.SetBounds(0, 0, 4)
+			p.SetBounds(1, 1, 5)
+			p.SetBounds(2, 0, 2)
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 1}, {2, 1}}, Op: LE, RHS: 7})
+			p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, -1}}, Op: GE, RHS: -2})
+			p.AddRow(Row{Coeffs: []Coef{{1, 1}, {2, 2}}, Op: EQ, RHS: 5})
+			return p
+		},
+	}
+}
+
+func randomLP(rng *rand.Rand) *Problem {
+	n := 3 + rng.Intn(10)
+	m := 2 + rng.Intn(8)
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetObjective(j, rng.NormFloat64())
+		p.SetBounds(j, 0, 1+4*rng.Float64())
+	}
+	for i := 0; i < m; i++ {
+		var coeffs []Coef
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				coeffs = append(coeffs, Coef{j, rng.NormFloat64()})
+			}
+		}
+		if len(coeffs) == 0 {
+			coeffs = append(coeffs, Coef{rng.Intn(n), 1})
+		}
+		op := LE
+		rhs := 1 + 3*rng.Float64()
+		if rng.Float64() < 0.25 {
+			op = GE
+			rhs = -rhs
+		}
+		if rng.Float64() < 0.2 { // degenerate: RHS exactly at the origin
+			rhs = 0
+		}
+		p.AddRow(Row{Coeffs: coeffs, Op: op, RHS: rhs, Name: "r"})
+	}
+	return p
+}
+
+// requireBitIdentical asserts two solutions of the same problem are equal
+// bit for bit — the sparse kernels skip arithmetic only where an operand is
+// exactly zero, so they must reproduce the dense reference exactly, not
+// merely within tolerance.
+func requireBitIdentical(t *testing.T, sparse, dense *Solution) {
+	t.Helper()
+	if sparse.Status != dense.Status {
+		t.Fatalf("status: sparse %v, dense %v", sparse.Status, dense.Status)
+	}
+	if sparse.Objective != dense.Objective {
+		t.Fatalf("objective: sparse %v, dense %v (diff %g)",
+			sparse.Objective, dense.Objective, sparse.Objective-dense.Objective)
+	}
+	if sparse.Iters != dense.Iters {
+		t.Fatalf("pivot count: sparse %d, dense %d", sparse.Iters, dense.Iters)
+	}
+	for j := range sparse.X {
+		if sparse.X[j] != dense.X[j] {
+			t.Fatalf("x[%d]: sparse %v, dense %v", j, sparse.X[j], dense.X[j])
+		}
+	}
+}
+
+func TestSparseMatchesDenseFixedSuite(t *testing.T) {
+	for name, build := range fixedSuite() {
+		t.Run(name, func(t *testing.T) {
+			sp, err := build().Solve(Options{})
+			if err != nil {
+				t.Fatalf("sparse: %v", err)
+			}
+			dn, err := build().Solve(Options{ForceDense: true})
+			if err != nil {
+				t.Fatalf("dense: %v", err)
+			}
+			requireBitIdentical(t, sp, dn)
+			if sp.Status == Optimal {
+				checkFeasible(t, build(), sp.X)
+			}
+		})
+	}
+}
+
+func TestSparseMatchesDenseRandom(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng)
+		sp, errS := p.Clone().Solve(Options{})
+		dn, errD := p.Clone().Solve(Options{ForceDense: true})
+		if (errS != nil) != (errD != nil) {
+			t.Fatalf("seed %d: sparse err %v, dense err %v", seed, errS, errD)
+		}
+		if errS != nil {
+			continue
+		}
+		requireBitIdentical(t, sp, dn)
+	}
+}
+
+// TestWarmMatchesColdProperty re-solves random LPs after a bound
+// perturbation, once cold and once warm-started from the original basis:
+// both must reach the same optimal value.
+func TestWarmMatchesColdProperty(t *testing.T) {
+	checked := 0
+	for seed := int64(100); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomLP(rng)
+		sol, err := p.Solve(Options{})
+		if err != nil || sol.Status != Optimal || sol.Basis == nil {
+			continue
+		}
+		q := p.Clone()
+		j := rng.Intn(q.NumVars())
+		lo, hi := q.Bounds(j)
+		q.SetBounds(j, lo, lo+(hi-lo)*rng.Float64())
+		cold, err := q.Clone().Solve(Options{})
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		warm, err := q.Solve(Options{WarmBasis: sol.Basis})
+		if err != nil {
+			t.Fatalf("seed %d: warm: %v", seed, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("seed %d: warm %v, cold %v", seed, warm.Status, cold.Status)
+		}
+		if cold.Status == Optimal {
+			if math.Abs(warm.Objective-cold.Objective) > 1e-6 {
+				t.Fatalf("seed %d: warm obj %v, cold obj %v", seed, warm.Objective, cold.Objective)
+			}
+			checkFeasible(t, q, warm.X)
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d warm/cold pairs compared; generator too restrictive", checked)
+	}
+}

@@ -56,16 +56,20 @@ type Problem struct {
 	lower []float64
 	upper []float64
 	rows  []Row
+	// sparse caches the CSC form of rows; shared across Clones so the many
+	// bound-only re-solves of branch and bound build it exactly once.
+	sparse *sparseCache
 }
 
 // NewProblem creates a problem with n variables, all with zero objective
 // coefficient and bounds [0, +inf).
 func NewProblem(n int) *Problem {
 	p := &Problem{
-		n:     n,
-		c:     make([]float64, n),
-		lower: make([]float64, n),
-		upper: make([]float64, n),
+		n:      n,
+		c:      make([]float64, n),
+		lower:  make([]float64, n),
+		upper:  make([]float64, n),
+		sparse: &sparseCache{},
 	}
 	for i := range p.upper {
 		p.upper[i] = math.Inf(1)
@@ -181,11 +185,12 @@ func (p *Problem) AddRow(r Row) int {
 // child nodes without interference.
 func (p *Problem) Clone() *Problem {
 	q := &Problem{
-		n:     p.n,
-		c:     append([]float64(nil), p.c...),
-		lower: append([]float64(nil), p.lower...),
-		upper: append([]float64(nil), p.upper...),
-		rows:  p.rows, // rows are immutable after AddRow; share the slice
+		n:      p.n,
+		c:      append([]float64(nil), p.c...),
+		lower:  append([]float64(nil), p.lower...),
+		upper:  append([]float64(nil), p.upper...),
+		rows:   p.rows,   // rows are immutable after AddRow; share the slice
+		sparse: p.sparse, // share the CSC cache with the parent
 	}
 	return q
 }
@@ -222,6 +227,10 @@ type Solution struct {
 	Objective float64
 	X         []float64
 	Iters     int
+	// Basis is the optimal basis snapshot (nil unless Status is Optimal, and
+	// nil for some degenerate optima). Pass it as Options.WarmBasis to a
+	// re-solve of the same rows with changed bounds.
+	Basis *Basis
 }
 
 // Options tunes the solver. Zero values select defaults.
@@ -230,6 +239,16 @@ type Options struct {
 	MaxIters int
 	// Tol is the feasibility/optimality tolerance (default 1e-9).
 	Tol float64
+	// WarmBasis warm-starts the solve from a prior Solution.Basis of a
+	// problem with identical rows after bound-only changes: dual simplex
+	// restores feasibility in a few pivots instead of a cold two-phase
+	// solve. Incompatible or numerically troubled warm starts silently fall
+	// back to the cold path, so correctness never depends on the basis.
+	WarmBasis *Basis
+	// ForceDense routes refactorization and the B⁻¹ update kernels through
+	// the dense reference implementations (the pre-sparse behavior), for
+	// cross-checking the zero-skipping kernels.
+	ForceDense bool
 }
 
 func (o Options) withDefaults(p *Problem) Options {
@@ -255,6 +274,17 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		if p.lower[j] > p.upper[j] {
 			return &Solution{Status: Infeasible, X: make([]float64, p.n)}, nil
 		}
+	}
+	if wb := opts.WarmBasis; wb != nil {
+		// Warm path: bypass presolve (the basis indexes the full problem)
+		// and re-optimize with dual simplex. Any trouble — mismatched
+		// shape, singular basis, iteration budget, or a claimed
+		// infeasibility — falls through to the cold path below.
+		s := newSimplex(p, opts)
+		if sol, ok := s.solveWarm(wb); ok {
+			return sol, nil
+		}
+		opts.WarmBasis = nil
 	}
 	if m, ok := presolve(p); !ok {
 		return &Solution{Status: Infeasible, X: make([]float64, p.n)}, nil

@@ -16,7 +16,10 @@ type presolveMap struct {
 	toReduced []int
 	// fixedVal[j] holds the value of fixed variable j.
 	fixedVal []float64
-	reduced  *Problem
+	// rowMap[r] is the original index of reduced row r (fully-determined
+	// rows are dropped, so the mapping is not the identity).
+	rowMap  []int
+	reduced *Problem
 }
 
 func presolve(p *Problem) (*presolveMap, bool) {
@@ -48,7 +51,7 @@ func presolve(p *Problem) (*presolveMap, bool) {
 		}
 	}
 	const tol = 1e-9
-	for _, row := range p.rows {
+	for i, row := range p.rows {
 		rhs := row.RHS
 		var coeffs []Coef
 		for _, cf := range row.Coeffs {
@@ -77,6 +80,7 @@ func presolve(p *Problem) (*presolveMap, bool) {
 			continue
 		}
 		q.AddRow(Row{Coeffs: coeffs, Op: row.Op, RHS: rhs, Name: row.Name})
+		m.rowMap = append(m.rowMap, i)
 	}
 	m.reduced = q
 	return m, true
@@ -98,5 +102,56 @@ func (m *presolveMap) inflate(p *Problem, sol *Solution) *Solution {
 	for j := 0; j < p.n; j++ {
 		obj += p.c[j] * x[j]
 	}
-	return &Solution{Status: sol.Status, Objective: obj, X: x, Iters: sol.Iters}
+	out := &Solution{Status: sol.Status, Objective: obj, X: x, Iters: sol.Iters}
+	if sol.Basis != nil {
+		out.Basis = m.inflateBasis(p, sol.Basis)
+	}
+	return out
+}
+
+// inflateBasis expands a reduced-problem basis to the original variable and
+// row space, so presolved solves still export a warm-startable basis.
+// Surviving rows keep their reduced basic variable (remapped); dropped rows
+// get their own slack basic. The expanded basis stays dual feasible for
+// bound-only re-solves: dropped rows' dual prices are zero, and the basis
+// matrix is block-diagonal with an identity over the dropped rows.
+func (m *presolveMap) inflateBasis(p *Problem, rb *Basis) *Basis {
+	nOrig, mOrig := p.n, len(p.rows)
+	q := m.reduced
+	fromReduced := make([]int, q.n)
+	for j, r := range m.toReduced {
+		if r >= 0 {
+			fromReduced[r] = j
+		}
+	}
+	b := &Basis{
+		nVars:   nOrig,
+		nRows:   mOrig,
+		basic:   make([]int, mOrig),
+		atUpper: make([]bool, nOrig+mOrig),
+	}
+	surviving := make([]bool, mOrig)
+	for r, i := range m.rowMap {
+		surviving[i] = true
+		rj := rb.basic[r]
+		if rj < q.n {
+			b.basic[i] = fromReduced[rj]
+		} else {
+			b.basic[i] = nOrig + m.rowMap[rj-q.n]
+		}
+	}
+	for i := 0; i < mOrig; i++ {
+		if !surviving[i] {
+			b.basic[i] = nOrig + i
+		}
+	}
+	for j := 0; j < nOrig; j++ {
+		if r := m.toReduced[j]; r >= 0 {
+			b.atUpper[j] = rb.atUpper[r]
+		}
+	}
+	for r, i := range m.rowMap {
+		b.atUpper[nOrig+i] = rb.atUpper[q.n+r]
+	}
+	return b
 }

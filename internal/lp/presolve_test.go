@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// fixVar clamps variable j to value v (lower == upper triggers presolve).
+func fixVar(p *Problem, j int, v float64) { p.SetBounds(j, v, v) }
+
+func TestPresolveFixedVarObjectiveFold(t *testing.T) {
+	// max 3x + 2y + 5z  s.t. x+y+z ≤ 10, with z fixed at 4:
+	// reduces to max 3x+2y s.t. x+y ≤ 6 → x=6 (obj 18) + 5·4 = 38.
+	p := NewProblem(3)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 2)
+	p.SetObjective(2, 5)
+	fixVar(p, 2, 4)
+	p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 1}, {2, 1}}, Op: LE, RHS: 10})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-38) > eps {
+		t.Fatalf("got %v obj %v, want optimal 38", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[2]-4) > eps {
+		t.Errorf("fixed variable moved: x[2] = %v, want 4", sol.X[2])
+	}
+	checkFeasible(t, p, sol.X)
+}
+
+func TestPresolveEmptyRowSatisfied(t *testing.T) {
+	// A row whose every variable is fixed drops out when the residual
+	// constant satisfies the operator.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	fixVar(p, 1, 3)
+	p.AddRow(Row{Coeffs: []Coef{{1, 2}}, Op: LE, RHS: 7}) // 6 ≤ 7: drop
+	p.AddRow(Row{Coeffs: []Coef{{1, 1}}, Op: EQ, RHS: 3}) // 3 = 3: drop
+	p.AddRow(Row{Coeffs: []Coef{{1, -1}}, Op: GE, RHS: -5} /* -3 ≥ -5 */)
+	p.AddRow(Row{Coeffs: []Coef{{0, 1}}, Op: LE, RHS: 2})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-2) > eps {
+		t.Fatalf("got %v obj %v, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+func TestPresolveInfeasibleEmptyRows(t *testing.T) {
+	cases := []struct {
+		name string
+		op   RowOp
+		rhs  float64 // residual after fixing x1 = 3 with coefficient 1
+	}{
+		{"LE-violated", LE, 2},  // 3 ≤ 2 fails
+		{"GE-violated", GE, 4},  // 3 ≥ 4 fails
+		{"EQ-violated", EQ, 10}, // 3 = 10 fails
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProblem(2)
+			p.SetObjective(0, 1)
+			p.SetBounds(0, 0, 1)
+			fixVar(p, 1, 3)
+			p.AddRow(Row{Coeffs: []Coef{{1, 1}}, Op: tc.op, RHS: tc.rhs})
+			sol, err := p.Solve(Options{})
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if sol.Status != Infeasible {
+				t.Fatalf("status = %v, want Infeasible", sol.Status)
+			}
+		})
+	}
+}
+
+func TestPresolveAllVariablesFixed(t *testing.T) {
+	// Everything fixed and consistent: the reduced problem has no variables
+	// and the solution is just the fixed point.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	fixVar(p, 0, 1)
+	fixVar(p, 1, 2)
+	p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 1}}, Op: EQ, RHS: 3})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-8) > eps {
+		t.Fatalf("got %v obj %v, want optimal 8", sol.Status, sol.Objective)
+	}
+	if sol.X[0] != 1 || sol.X[1] != 2 {
+		t.Errorf("x = %v, want [1 2]", sol.X)
+	}
+}
+
+func TestPresolveEmptyColumn(t *testing.T) {
+	// A variable that appears in no row (after presolve drops the only row
+	// mentioning it) must still settle at its objective-optimal bound.
+	p := NewProblem(3)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 4) // empty column, positive cost → upper bound
+	p.SetBounds(1, 0, 9)
+	fixVar(p, 2, 1)
+	p.AddRow(Row{Coeffs: []Coef{{2, 5}}, Op: LE, RHS: 5}) // drops entirely
+	p.AddRow(Row{Coeffs: []Coef{{0, 1}}, Op: LE, RHS: 3})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-(3+36+0)) > eps {
+		t.Fatalf("got %v obj %v, want optimal 39", sol.Status, sol.Objective)
+	}
+	if math.Abs(sol.X[1]-9) > eps {
+		t.Errorf("empty-column variable x[1] = %v, want 9", sol.X[1])
+	}
+}
+
+func TestPresolveBasisInflationWarmResolve(t *testing.T) {
+	// A presolved solve (fixed vars, dropped rows) must still export a basis
+	// that warm-starts a bound-tightened re-solve of the FULL problem to the
+	// same optimum the cold path finds. This exercises inflateBasis's row
+	// remapping: row 0 drops (all fixed), rows 1..2 survive.
+	p := NewProblem(4)
+	for j, c := range []float64{3, 5, 2, 4} {
+		p.SetObjective(j, c)
+		p.SetBounds(j, 0, 10)
+	}
+	fixVar(p, 3, 2)
+	p.AddRow(Row{Coeffs: []Coef{{3, 1}}, Op: LE, RHS: 6}) // 2 ≤ 6: dropped
+	p.AddRow(Row{Coeffs: []Coef{{0, 1}, {1, 2}, {3, 1}}, Op: LE, RHS: 14})
+	p.AddRow(Row{Coeffs: []Coef{{1, 1}, {2, 1}}, Op: LE, RHS: 8})
+	sol := solveOK(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Basis == nil {
+		t.Fatal("presolved optimal solve exported no basis")
+	}
+	if sol.Basis.nVars != p.NumVars() || sol.Basis.nRows != 3 {
+		t.Fatalf("inflated basis sized %dx%d, want %dx3",
+			sol.Basis.nVars, sol.Basis.nRows, p.NumVars())
+	}
+
+	// Tighten a bound and re-solve warm vs cold.
+	q := p.Clone()
+	q.SetBounds(1, 0, 3)
+	cold, err := q.Solve(Options{})
+	if err != nil {
+		t.Fatalf("cold re-solve: %v", err)
+	}
+	warm, err := q.Solve(Options{WarmBasis: sol.Basis})
+	if err != nil {
+		t.Fatalf("warm re-solve: %v", err)
+	}
+	if warm.Status != Optimal || math.Abs(warm.Objective-cold.Objective) > eps {
+		t.Fatalf("warm obj %v (%v), cold obj %v", warm.Objective, warm.Status, cold.Objective)
+	}
+	checkFeasible(t, q, warm.X)
+}

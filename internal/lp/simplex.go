@@ -5,9 +5,18 @@ import (
 	"math"
 )
 
-// simplex is the bounded-variable revised primal simplex engine. Variables
-// are the structural variables, one slack per row (a·x + s = b with slack
-// bounds encoding ≤/≥/=), and one artificial per row used only in Phase 1.
+// simplex is the bounded-variable revised primal/dual simplex engine.
+// Variables are the structural variables, one slack per row (a·x + s = b
+// with slack bounds encoding ≤/≥/=), and one artificial per row used only
+// in Phase 1.
+//
+// Structural columns come from the problem's shared CSC matrix; slack and
+// artificial columns are unit vectors handled implicitly. All hot kernels
+// (pricing, ftran, eta update, refactorization) skip zero entries but sum
+// in the same order as the dense reference kernels, so for any sequence of
+// comparisons the two paths agree bit for bit (the only representational
+// difference is the sign of zeros, which no comparison observes). The dense
+// kernels are kept behind Options.ForceDense for cross-checking.
 type simplex struct {
 	p    *Problem
 	opts Options
@@ -15,11 +24,12 @@ type simplex struct {
 	m, n   int // rows, structural vars
 	nTotal int // structural + slacks + artificials
 
-	cols  [][]Coef  // column-wise sparse matrix, per variable
-	b     []float64 // row RHS
-	lower []float64 // per total variable
-	upper []float64
-	obj   []float64 // current-phase objective
+	csc     *cscMatrix // structural columns, shared across clones
+	artSign []float64  // artificial column sign per row (+1 or -1)
+	b       []float64  // row RHS
+	lower   []float64  // per total variable
+	upper   []float64
+	obj     []float64 // current-phase objective
 
 	basis   []int     // basis[i] = variable basic in row i
 	inBasis []int     // var -> row position or -1
@@ -33,7 +43,8 @@ type simplex struct {
 	sincePivot int  // pivots since last refactorization
 
 	// scratch buffers
-	y, w []float64
+	y, w  []float64
+	nzIdx []int // pivot-row nonzero positions for the sparse eta update
 }
 
 const (
@@ -47,6 +58,8 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	s := &simplex{
 		p: p, opts: opts,
 		m: m, n: n, nTotal: n + 2*m,
+		csc:     p.ensureCSC(),
+		artSign: make([]float64, m),
 		b:       make([]float64, m),
 		lower:   make([]float64, n+2*m),
 		upper:   make([]float64, n+2*m),
@@ -57,18 +70,15 @@ func newSimplex(p *Problem, opts Options) *simplex {
 		xB:      make([]float64, m),
 		y:       make([]float64, m),
 		w:       make([]float64, m),
+		nzIdx:   make([]int, 0, m),
 	}
-	s.cols = make([][]Coef, s.nTotal)
 	for j := 0; j < n; j++ {
 		s.lower[j], s.upper[j] = p.lower[j], p.upper[j]
 	}
 	for i, row := range p.rows {
 		s.b[i] = row.RHS
-		for _, cf := range row.Coeffs {
-			s.cols[cf.Var] = append(s.cols[cf.Var], Coef{Var: i, Val: cf.Val})
-		}
+		s.artSign[i] = 1
 		slack := n + i
-		s.cols[slack] = []Coef{{Var: i, Val: 1}}
 		switch row.Op {
 		case LE:
 			s.lower[slack], s.upper[slack] = 0, math.Inf(1)
@@ -78,7 +88,6 @@ func newSimplex(p *Problem, opts Options) *simplex {
 			s.lower[slack], s.upper[slack] = 0, 0
 		}
 		art := n + m + i
-		s.cols[art] = []Coef{{Var: i, Val: 1}} // sign fixed in init()
 		s.lower[art], s.upper[art] = 0, math.Inf(1)
 	}
 	for j := range s.inBasis {
@@ -112,13 +121,14 @@ func (s *simplex) init() {
 	// under every row type, so they contribute nothing here whether they
 	// end up basic or not.)
 	r := append([]float64(nil), s.b...)
+	c := s.csc
 	for j := 0; j < s.n; j++ {
 		v := s.nonbasicValue(j)
 		if v == 0 {
 			continue
 		}
-		for _, cf := range s.cols[j] {
-			r[cf.Var] -= cf.Val * v
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			r[c.rowIdx[t]] -= c.val[t] * v
 		}
 	}
 	// Slack crash basis: a row whose residual already fits its slack's
@@ -140,7 +150,7 @@ func (s *simplex) init() {
 			continue
 		}
 		if r[i] < 0 {
-			s.cols[art][0].Val = -1
+			s.artSign[i] = -1
 			s.binv[i][i] = -1
 			s.xB[i] = -r[i]
 		} else {
@@ -176,7 +186,22 @@ func (s *simplex) solve() (*Solution, error) {
 		return &Solution{Status: Infeasible, X: s.extractX(), Iters: s.iters}, nil
 	}
 
-	// Phase 2: real objective; artificials are frozen at zero.
+	// Phase 2: real objective; artificials are frozen at zero. A singular
+	// refactorization here is survivable: the pre-refactor B⁻¹ is kept and
+	// iteration continues (the periodic refactor will retry).
+	s.setPhase2()
+	s.bland = false
+	s.degenRun = 0
+	_ = s.refactor()
+	st, err = s.iterate()
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(st), nil
+}
+
+// setPhase2 installs the real objective and freezes the artificials at zero.
+func (s *simplex) setPhase2() {
 	for j := range s.obj {
 		s.obj[j] = 0
 	}
@@ -190,19 +215,21 @@ func (s *simplex) solve() (*Solution, error) {
 			s.atUpper[art] = false
 		}
 	}
-	s.bland = false
-	s.degenRun = 0
-	s.refactor()
-	st, err = s.iterate()
-	if err != nil {
-		return nil, err
-	}
+}
+
+// finish packages the Phase-2 outcome, attaching a reusable basis snapshot
+// on optimality.
+func (s *simplex) finish(st Status) *Solution {
 	x := s.extractX()
 	objVal := 0.0
 	for j := 0; j < s.n; j++ {
 		objVal += s.p.c[j] * x[j]
 	}
-	return &Solution{Status: st, Objective: objVal, X: x, Iters: s.iters}, nil
+	sol := &Solution{Status: st, Objective: objVal, X: x, Iters: s.iters}
+	if st == Optimal {
+		sol.Basis = s.snapshotBasis()
+	}
+	return sol
 }
 
 // extractX reads the structural variable values from the current basis.
@@ -218,7 +245,137 @@ func (s *simplex) extractX() []float64 {
 	return x
 }
 
-// iterate runs simplex pivots until optimal, unbounded, or the iteration cap.
+// computeY forms the dual prices y = c_B^T · B⁻¹ for the current objective.
+func (s *simplex) computeY() {
+	for i := range s.y {
+		s.y[i] = 0
+	}
+	for k := 0; k < s.m; k++ {
+		cb := s.obj[s.basis[k]]
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[k]
+		if s.opts.ForceDense {
+			for i := 0; i < s.m; i++ {
+				s.y[i] += cb * row[i]
+			}
+			continue
+		}
+		for i, rv := range row {
+			if rv != 0 {
+				s.y[i] += cb * rv
+			}
+		}
+	}
+}
+
+// reducedCost returns obj_j - y·A_j for any total-variable column.
+func (s *simplex) reducedCost(j int) float64 {
+	d := s.obj[j]
+	switch {
+	case j < s.n:
+		c := s.csc
+		for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+			d -= s.y[c.rowIdx[t]] * c.val[t]
+		}
+	case j < s.n+s.m:
+		d -= s.y[j-s.n]
+	default:
+		r := j - s.n - s.m
+		d -= s.y[r] * s.artSign[r]
+	}
+	return d
+}
+
+// ftran computes w = B⁻¹ · A_enter into s.w.
+func (s *simplex) ftran(enter int) {
+	m := s.m
+	switch {
+	case enter < s.n:
+		c := s.csc
+		lo, hi := c.colPtr[enter], c.colPtr[enter+1]
+		for i := 0; i < m; i++ {
+			row := s.binv[i]
+			acc := 0.0
+			if s.opts.ForceDense {
+				for t := lo; t < hi; t++ {
+					acc += row[c.rowIdx[t]] * c.val[t]
+				}
+			} else {
+				for t := lo; t < hi; t++ {
+					if bv := row[c.rowIdx[t]]; bv != 0 {
+						acc += bv * c.val[t]
+					}
+				}
+			}
+			s.w[i] = acc
+		}
+	case enter < s.n+s.m:
+		r := enter - s.n
+		for i := 0; i < m; i++ {
+			s.w[i] = s.binv[i][r]
+		}
+	default:
+		r := enter - s.n - s.m
+		sg := s.artSign[r]
+		for i := 0; i < m; i++ {
+			s.w[i] = sg * s.binv[i][r]
+		}
+	}
+}
+
+// etaUpdate applies the eta transformation for a pivot in row leave with
+// direction s.w, updating B⁻¹ in place. The pivot row is scaled once and
+// its nonzero positions gathered, so every other row's update touches only
+// those positions.
+func (s *simplex) etaUpdate(leave int) {
+	pivRow := s.binv[leave]
+	inv := 1 / s.w[leave]
+	if s.opts.ForceDense {
+		for k := 0; k < s.m; k++ {
+			pivRow[k] *= inv
+		}
+		for i := 0; i < s.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := s.w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i]
+			for k := 0; k < s.m; k++ {
+				row[k] -= f * pivRow[k]
+			}
+		}
+		return
+	}
+	s.nzIdx = s.nzIdx[:0]
+	for k, v := range pivRow {
+		if v == 0 {
+			continue
+		}
+		pivRow[k] = v * inv
+		s.nzIdx = append(s.nzIdx, k)
+	}
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.w[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for _, k := range s.nzIdx {
+			row[k] -= f * pivRow[k]
+		}
+	}
+}
+
+// iterate runs primal simplex pivots until optimal, unbounded, or the
+// iteration cap.
 func (s *simplex) iterate() (Status, error) {
 	for {
 		if s.iters >= s.opts.MaxIters {
@@ -226,20 +383,7 @@ func (s *simplex) iterate() (Status, error) {
 		}
 		s.iters++
 
-		// y = c_B^T · B⁻¹
-		for i := range s.y {
-			s.y[i] = 0
-		}
-		for k := 0; k < s.m; k++ {
-			cb := s.obj[s.basis[k]]
-			if cb == 0 {
-				continue
-			}
-			row := s.binv[k]
-			for i := 0; i < s.m; i++ {
-				s.y[i] += cb * row[i]
-			}
-		}
+		s.computeY()
 
 		// Pricing: pick the entering variable.
 		enter := -1
@@ -251,10 +395,7 @@ func (s *simplex) iterate() (Status, error) {
 			if s.lower[j] == s.upper[j] {
 				continue // fixed variable can never improve
 			}
-			d := s.obj[j]
-			for _, cf := range s.cols[j] {
-				d -= s.y[cf.Var] * cf.Val
-			}
+			d := s.reducedCost(j)
 			var score float64
 			if !s.atUpper[j] && d > s.opts.Tol*10 {
 				score = d
@@ -275,16 +416,7 @@ func (s *simplex) iterate() (Status, error) {
 			return Optimal, nil
 		}
 
-		// Direction w = B⁻¹ · A_enter.
-		for i := range s.w {
-			s.w[i] = 0
-		}
-		for _, cf := range s.cols[enter] {
-			v := cf.Val
-			for i := 0; i < s.m; i++ {
-				s.w[i] += s.binv[i][cf.Var] * v
-			}
-		}
+		s.ftran(enter)
 
 		sgn := 1.0
 		if s.atUpper[enter] {
@@ -355,32 +487,14 @@ func (s *simplex) iterate() (Status, error) {
 		s.xB[leave] = enterVal
 
 		// Update B⁻¹ with the eta transformation for the pivot row.
-		wr := s.w[leave]
-		if math.Abs(wr) < pivotTol {
+		if math.Abs(s.w[leave]) < pivotTol {
 			// Numerically unreliable pivot: refactorize and retry.
 			if err := s.refactor(); err != nil {
 				return 0, err
 			}
 			continue
 		}
-		pivRow := s.binv[leave]
-		inv := 1 / wr
-		for k := 0; k < s.m; k++ {
-			pivRow[k] *= inv
-		}
-		for i := 0; i < s.m; i++ {
-			if i == leave {
-				continue
-			}
-			f := s.w[i]
-			if f == 0 {
-				continue
-			}
-			row := s.binv[i]
-			for k := 0; k < s.m; k++ {
-				row[k] -= f * pivRow[k]
-			}
-		}
+		s.etaUpdate(leave)
 
 		s.sincePivot++
 		if s.sincePivot >= refactEvery {
@@ -400,11 +514,26 @@ func (s *simplex) refactor() error {
 		B[i] = make([]float64, s.m)
 	}
 	for pos, j := range s.basis {
-		for _, cf := range s.cols[j] {
-			B[cf.Var][pos] = cf.Val
+		switch {
+		case j < s.n:
+			c := s.csc
+			for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+				B[c.rowIdx[t]][pos] = c.val[t]
+			}
+		case j < s.n+s.m:
+			B[j-s.n][pos] = 1
+		default:
+			r := j - s.n - s.m
+			B[r][pos] = s.artSign[r]
 		}
 	}
-	inv, ok := invert(B)
+	var inv [][]float64
+	var ok bool
+	if s.opts.ForceDense {
+		inv, ok = invert(B)
+	} else {
+		inv, ok = invertSparse(B)
+	}
 	if !ok {
 		return errors.New("lp: singular basis during refactorization")
 	}
@@ -419,15 +548,25 @@ func (s *simplex) refactor() error {
 		if v == 0 {
 			continue
 		}
-		for _, cf := range s.cols[j] {
-			r[cf.Var] -= cf.Val * v
+		switch {
+		case j < s.n:
+			c := s.csc
+			for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+				r[c.rowIdx[t]] -= c.val[t] * v
+			}
+		case j < s.n+s.m:
+			r[j-s.n] -= v
+		default:
+			r[j-s.n-s.m] -= s.artSign[j-s.n-s.m] * v
 		}
 	}
 	for i := 0; i < s.m; i++ {
 		sum := 0.0
 		row := s.binv[i]
 		for k := 0; k < s.m; k++ {
-			sum += row[k] * r[k]
+			if rv := r[k]; rv != 0 {
+				sum += row[k] * rv
+			}
 		}
 		s.xB[i] = sum
 	}
@@ -482,6 +621,66 @@ func invert(a [][]float64) ([][]float64, bool) {
 			}
 			for k := col; k < 2*m; k++ {
 				w[i][k] -= f * w[col][k]
+			}
+		}
+	}
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = w[i][m:]
+	}
+	return out, true
+}
+
+// invertSparse is Gauss-Jordan elimination with the same partial-pivot
+// order as invert but with zero entries skipped: the pivot row's nonzero
+// positions are gathered once per column, and each elimination touches only
+// those. Basis matrices here are extremely sparse (unit slack columns,
+// few-nonzero structural columns), so the early columns' pivot rows carry a
+// handful of nonzeros and the classic O(m³) sweep collapses toward the fill
+// that elimination actually creates. Pivot choices and the surviving
+// arithmetic are identical to invert, so both produce the same inverse bit
+// for bit.
+func invertSparse(a [][]float64) ([][]float64, bool) {
+	m := len(a)
+	w := make([][]float64, m)
+	backing := make([]float64, m*2*m)
+	for i := range w {
+		w[i] = backing[i*2*m : (i+1)*2*m]
+		copy(w[i], a[i])
+		w[i][m+i] = 1
+	}
+	nz := make([]int, 0, 2*m)
+	for col := 0; col < m; col++ {
+		piv, best := -1, pivotTol
+		for i := col; i < m; i++ {
+			if v := math.Abs(w[i][col]); v > best {
+				best, piv = v, i
+			}
+		}
+		if piv == -1 {
+			return nil, false
+		}
+		w[col], w[piv] = w[piv], w[col]
+		pr := w[col]
+		inv := 1 / pr[col]
+		nz = nz[:0]
+		for k := col; k < 2*m; k++ {
+			if v := pr[k]; v != 0 {
+				pr[k] = v * inv
+				nz = append(nz, k)
+			}
+		}
+		for i := 0; i < m; i++ {
+			if i == col {
+				continue
+			}
+			f := w[i][col]
+			if f == 0 {
+				continue
+			}
+			row := w[i]
+			for _, k := range nz {
+				row[k] -= f * pr[k]
 			}
 		}
 	}

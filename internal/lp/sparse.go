@@ -1,0 +1,81 @@
+package lp
+
+import "sync"
+
+// cscMatrix is the structural constraint matrix in compressed-sparse-column
+// form: column j's entries live at [colPtr[j], colPtr[j+1]) of rowIdx/val,
+// in row-append order (the same order the dense engine iterated, so sparse
+// dot products sum in the identical sequence and reproduce its arithmetic
+// bit for bit). Slack and artificial columns are unit vectors and are never
+// stored — the simplex special-cases them.
+type cscMatrix struct {
+	nVars, nRows int
+	colPtr       []int32
+	rowIdx       []int32
+	val          []float64
+}
+
+// sparseCache holds a problem's CSC form. Clones share the cache pointer
+// (rows are immutable and shared after Clone), so branch-and-bound node LPs
+// and the recirculation-sweep trials all reuse one build.
+type sparseCache struct {
+	mu  sync.Mutex
+	csc *cscMatrix
+}
+
+// ensureCSC returns the cached CSC form, building it on first use. The
+// cache is invalidated by shape: a clone that grew extra rows builds its
+// own copy rather than corrupting siblings.
+func (p *Problem) ensureCSC() *cscMatrix {
+	if p.sparse == nil {
+		p.sparse = &sparseCache{}
+	}
+	p.sparse.mu.Lock()
+	defer p.sparse.mu.Unlock()
+	if c := p.sparse.csc; c != nil && c.nRows == len(p.rows) && c.nVars == p.n {
+		return c
+	}
+	c := buildCSC(p)
+	p.sparse.csc = c
+	return c
+}
+
+// Presparse eagerly builds and caches the compressed-sparse form so that
+// concurrent solvers cloning this problem (parallel branch and bound, the
+// recirculation sweep) share one build instead of racing to create their
+// own. Safe to call from multiple goroutines.
+func (p *Problem) Presparse() { p.ensureCSC() }
+
+func buildCSC(p *Problem) *cscMatrix {
+	nnz := 0
+	for _, row := range p.rows {
+		nnz += len(row.Coeffs)
+	}
+	c := &cscMatrix{
+		nVars:  p.n,
+		nRows:  len(p.rows),
+		colPtr: make([]int32, p.n+1),
+		rowIdx: make([]int32, nnz),
+		val:    make([]float64, nnz),
+	}
+	counts := make([]int32, p.n)
+	for _, row := range p.rows {
+		for _, cf := range row.Coeffs {
+			counts[cf.Var]++
+		}
+	}
+	for j := 0; j < p.n; j++ {
+		c.colPtr[j+1] = c.colPtr[j] + counts[j]
+	}
+	next := make([]int32, p.n)
+	copy(next, c.colPtr[:p.n])
+	for i, row := range p.rows {
+		for _, cf := range row.Coeffs {
+			t := next[cf.Var]
+			c.rowIdx[t] = int32(i)
+			c.val[t] = cf.Val
+			next[cf.Var] = t + 1
+		}
+	}
+	return c
+}

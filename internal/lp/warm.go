@@ -1,0 +1,218 @@
+package lp
+
+import "math"
+
+// Basis is a reusable snapshot of an optimal simplex basis: which variable
+// (structural or slack) is basic in each row, and which bound every
+// nonbasic variable rests at. Branch-and-bound hands a parent node's basis
+// to its children via Options.WarmBasis; since a child differs from its
+// parent only in variable bounds, the parent basis stays dual feasible and
+// the child re-optimizes with a handful of dual-simplex pivots instead of a
+// cold two-phase solve.
+//
+// A Basis is immutable after creation and safe to share across goroutines.
+type Basis struct {
+	nVars, nRows int
+	basic        []int  // basic[i] = variable basic in row i (< nVars+nRows)
+	atUpper      []bool // per structural+slack variable
+}
+
+// snapshotBasis captures the current basis, or nil if any artificial is
+// still basic (such a basis cannot be reinstalled on a problem whose
+// artificials are gone).
+func (s *simplex) snapshotBasis() *Basis {
+	for _, j := range s.basis {
+		if j >= s.n+s.m {
+			return nil
+		}
+	}
+	return &Basis{
+		nVars:   s.n,
+		nRows:   s.m,
+		basic:   append([]int(nil), s.basis...),
+		atUpper: append([]bool(nil), s.atUpper[:s.n+s.m]...),
+	}
+}
+
+// installBasis loads a snapshot into a fresh simplex: basis assignment,
+// nonbasic resting sides, frozen artificials, then a refactorization to
+// rebuild B⁻¹ and the basic values. It reports false (leaving the caller
+// to cold-solve) on any structural mismatch or a singular basis.
+func (s *simplex) installBasis(wb *Basis) bool {
+	if wb == nil || wb.nVars != s.n || wb.nRows != s.m {
+		return false
+	}
+	for i, j := range wb.basic {
+		if j < 0 || j >= s.n+s.m || s.inBasis[j] >= 0 {
+			return false // out of range or duplicated
+		}
+		s.basis[i] = j
+		s.inBasis[j] = i
+	}
+	copy(s.atUpper[:s.n+s.m], wb.atUpper)
+	for j := 0; j < s.n+s.m; j++ {
+		if s.inBasis[j] >= 0 {
+			continue
+		}
+		// The stored resting side may have become infinite if bounds
+		// changed shape; fall back to the finite side.
+		if s.atUpper[j] && math.IsInf(s.upper[j], 1) {
+			if math.IsInf(s.lower[j], -1) {
+				return false
+			}
+			s.atUpper[j] = false
+		} else if !s.atUpper[j] && math.IsInf(s.lower[j], -1) {
+			if math.IsInf(s.upper[j], 1) {
+				return false
+			}
+			s.atUpper[j] = true
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		art := s.n + s.m + i
+		s.lower[art], s.upper[art] = 0, 0
+	}
+	return s.refactor() == nil
+}
+
+// solveWarm re-optimizes from a prior basis: install, dual simplex to
+// restore primal feasibility (bound changes leave the basis dual feasible),
+// then primal cleanup. ok=false means the caller should cold-solve instead —
+// installation failed, iteration budget ran out, or the dual pass claims
+// infeasibility (cheap to reconfirm cold, and a false prune would silently
+// cost branch-and-bound optimality).
+func (s *simplex) solveWarm(wb *Basis) (sol *Solution, ok bool) {
+	if !s.installBasis(wb) {
+		return nil, false
+	}
+	s.setPhase2()
+	st, err := s.dualIterate()
+	if err != nil || st != Optimal {
+		return nil, false
+	}
+	s.bland = false
+	s.degenRun = 0
+	st, err = s.iterate()
+	if err != nil || st == IterLimit {
+		return nil, false
+	}
+	return s.finish(st), true
+}
+
+// dualIterate runs dual simplex pivots until primal feasibility (returned
+// as Optimal), primal infeasibility (dual unbounded), or the iteration cap.
+// Each pivot picks the most-violated basic variable to leave and the
+// entering column by the dual ratio test over reduced costs.
+func (s *simplex) dualIterate() (Status, error) {
+	tol := s.opts.Tol * 10
+	for {
+		if s.iters >= s.opts.MaxIters {
+			return IterLimit, nil
+		}
+
+		// Leaving row: most-violated basic variable.
+		leave, below := -1, false
+		worst := tol
+		for i := 0; i < s.m; i++ {
+			bi := s.basis[i]
+			if d := s.lower[bi] - s.xB[i]; d > worst {
+				worst, leave, below = d, i, true
+			}
+			if d := s.xB[i] - s.upper[bi]; d > worst {
+				worst, leave, below = d, i, false
+			}
+		}
+		if leave == -1 {
+			return Optimal, nil
+		}
+		s.iters++
+
+		s.computeY()
+		rho := s.binv[leave]
+
+		// Entering column: dual ratio test. Eligibility is the sign of
+		// alpha = e_leave^T B⁻¹ A_j needed to move xB[leave] toward its
+		// violated bound given which side j rests at.
+		enter := -1
+		bestRatio, bestAlpha := math.Inf(1), 0.0
+		for j := 0; j < s.n+s.m; j++ {
+			if s.inBasis[j] >= 0 || s.lower[j] == s.upper[j] {
+				continue
+			}
+			var alpha float64
+			if j < s.n {
+				c := s.csc
+				for t := c.colPtr[j]; t < c.colPtr[j+1]; t++ {
+					if rv := rho[c.rowIdx[t]]; rv != 0 {
+						alpha += rv * c.val[t]
+					}
+				}
+			} else {
+				alpha = rho[j-s.n]
+			}
+			var eligible bool
+			if below {
+				eligible = (!s.atUpper[j] && alpha < -pivotTol) || (s.atUpper[j] && alpha > pivotTol)
+			} else {
+				eligible = (!s.atUpper[j] && alpha > pivotTol) || (s.atUpper[j] && alpha < -pivotTol)
+			}
+			if !eligible {
+				continue
+			}
+			if s.bland {
+				enter, bestAlpha = j, alpha
+				break
+			}
+			ratio := math.Abs(s.reducedCost(j)) / math.Abs(alpha)
+			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				bestRatio, bestAlpha, enter = ratio, alpha, j
+			}
+		}
+		if enter == -1 {
+			// Dual unbounded: no column can repair the violation.
+			return Infeasible, nil
+		}
+
+		s.ftran(enter)
+		wr := s.w[leave]
+		if math.Abs(wr) < pivotTol {
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+
+		bi := s.basis[leave]
+		target, leaveAtUpper := s.upper[bi], true
+		if below {
+			target, leaveAtUpper = s.lower[bi], false
+		}
+		t := (s.xB[leave] - target) / wr
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= t * s.w[i]
+		}
+		enterVal := s.nonbasicValue(enter) + t
+
+		s.basis[leave] = enter
+		s.inBasis[enter] = leave
+		s.inBasis[bi] = -1
+		s.atUpper[bi] = leaveAtUpper
+		s.xB[leave] = enterVal
+		s.etaUpdate(leave)
+
+		if math.Abs(t) <= s.opts.Tol {
+			s.degenRun++
+			if s.degenRun > degenLimit {
+				s.bland = true
+			}
+		} else {
+			s.degenRun = 0
+		}
+		s.sincePivot++
+		if s.sincePivot >= refactEvery {
+			if err := s.refactor(); err != nil {
+				return 0, err
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sfp/internal/lp"
 )
@@ -43,6 +44,7 @@ type Encoded struct {
 // z_ijkl exists only for i = f_jl and k inside the box's order-feasible
 // window; x is indexed by physical stage so Eq. (10) holds structurally.
 func Build(in *Instance, opts BuildOptions) (*Encoded, error) {
+	buildCalls.Add(1)
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -238,7 +240,22 @@ func Build(in *Instance, opts BuildOptions) (*Encoded, error) {
 				}
 			}
 		}
-		for key, coeffs := range agg {
+		// Emit in sorted key order: map iteration order is randomized per
+		// process, and row order steers simplex pivot order — which picks
+		// among tied optimal vertices. A fixed order keeps solves (and the
+		// rounded placements downstream) reproducible across runs.
+		keys := make([]is, 0, len(agg))
+		for key := range agg {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].i != keys[b].i {
+				return keys[a].i < keys[b].i
+			}
+			return keys[a].s < keys[b].s
+		})
+		for _, key := range keys {
+			coeffs := agg[key]
 			n := float64(len(coeffs))
 			coeffs = append(coeffs, lp.Coef{Var: e.xIdx[key.i][key.s], Val: -n})
 			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: 0,

@@ -1,0 +1,41 @@
+package model
+
+import (
+	"sync/atomic"
+
+	"sfp/internal/lp"
+)
+
+// buildCalls counts Build invocations process-wide, so tests can assert
+// that hot paths (the recirculation sweep) encode once instead of per trial.
+var buildCalls atomic.Int64
+
+// BuildCalls returns the number of Build invocations so far.
+func BuildCalls() int64 { return buildCalls.Load() }
+
+// RestrictRecirc tightens q — a Clone of e.Prob — to a recirculation budget
+// r smaller than the one e was built with: every z variable in a slot at or
+// beyond stage budget S·(r+1) is fixed to zero, and each chain's pass
+// counter P_l is capped at r+1. Because the fate rows (Eq. 7) force every
+// box of a deployed chain to carry equal mass and the order rows (Eq. 8)
+// keep boxes in slot order, zeroing the tail slots leaves exactly the
+// feasible set of a fresh encode at budget r — so the sweep in
+// placement.SolveApprox encodes once at the full budget and patches bounds
+// per trial instead of rebuilding the model R+1 times.
+func (e *Encoded) RestrictRecirc(q *lp.Problem, r int) {
+	kMax := e.inst.Switch.Stages * (r + 1)
+	if kMax > e.K {
+		kMax = e.K
+	}
+	for l := range e.zIdx {
+		for j := range e.zIdx[l] {
+			for k := kMax; k < e.K; k++ {
+				if v := e.zIdx[l][j][k]; v >= 0 {
+					q.SetBounds(v, 0, 0)
+				}
+			}
+		}
+		lo, _ := q.Bounds(e.pIdx[l])
+		q.SetBounds(e.pIdx[l], lo, float64(r+1))
+	}
+}

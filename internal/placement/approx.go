@@ -1,10 +1,13 @@
 package placement
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
+	"sfp/internal/lp"
 	"sfp/internal/model"
 )
 
@@ -20,6 +23,11 @@ type ApproxOptions struct {
 	// (Algorithm 1 line 2). The sweep finds the best recirculation budget;
 	// fixing it isolates one budget, as the Fig. 7 experiment needs.
 	FixedRecirc bool
+	// Workers runs the recirculation trials concurrently (0 or 1 = serial).
+	// Each trial draws from its own RNG seeded by (Seed, r) and the best
+	// trial is selected in fixed ascending-r order, so the Result is
+	// identical for a given Seed regardless of Workers.
+	Workers int
 }
 
 // SolveApprox implements Algorithm 1 ("SFP-Appro."): for each recirculation
@@ -28,30 +36,64 @@ type ApproxOptions struct {
 // and — when verification fails — strips the selected SFC with the worst
 // bandwidth-per-resource metric (Eq. 13) and retries. The best verified
 // assignment across trials wins.
+//
+// The model is encoded once at the full recirculation budget; each trial
+// clones the LP and patches only the recirculation-dependent bounds
+// (model.RestrictRecirc), instead of re-encoding per trial. Trials are
+// independent, so with Workers > 1 they run concurrently.
 func SolveApprox(in *model.Instance, opts ApproxOptions) (*Result, error) {
 	start := time.Now()
 	if opts.Rounds == 0 {
 		opts.Rounds = 50
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 
-	best := emptyAssignment(in)
-	bestMetrics := model.ComputeMetrics(in, best, opts.Build.Consolidate)
+	enc, err := model.Build(in, opts.Build)
+	if err != nil {
+		return nil, err
+	}
+	enc.Prob.Presparse()
 
 	startR := 0
 	if opts.FixedRecirc {
 		startR = in.Recirc
 	}
-	for r := startR; r <= in.Recirc; r++ {
+	trials := in.Recirc - startR + 1
+	if workers > trials {
+		workers = trials
+	}
+
+	type trialOut struct {
+		a   *model.Assignment
+		m   model.Metrics
+		ok  bool
+		err error
+	}
+	results := make([]trialOut, trials)
+	runTrial := func(idx int) {
+		r := startR + idx
 		trial := *in
 		trial.Recirc = r
-		enc, sol, err := SolveLPRelaxation(&trial, opts.Build)
+		q := enc.Prob.Clone()
+		enc.RestrictRecirc(q, r)
+		sol, err := q.Solve(lp.Options{})
 		if err != nil {
-			return nil, err
+			results[idx].err = err
+			return
 		}
+		if sol.Status != lp.Optimal {
+			results[idx].err = fmt.Errorf("placement: LP relaxation %v", sol.Status)
+			return
+		}
+		// Per-trial RNG: the draw stream depends only on (Seed, r), never on
+		// scheduling, so the sweep is deterministic for any worker count.
+		rng := rand.New(rand.NewSource(trialSeed(opts.Seed, r)))
 		a, ok := roundAndRepair(&trial, enc, sol.X, opts, rng)
 		if !ok {
-			continue
+			return
 		}
 		// Polish: the strip-repair step may have evicted whole chains whose
 		// resources are now partly free; a greedy completion over the
@@ -59,11 +101,49 @@ func SolveApprox(in *model.Instance, opts ApproxOptions) (*Result, error) {
 		if gr, err := SolveGreedy(&trial, GreedyOptions{Consolidate: opts.Build.Consolidate, Pinned: a}); err == nil {
 			a = gr.Assignment
 		}
-		m := model.ComputeMetrics(&trial, a, opts.Build.Consolidate)
-		if m.Objective > bestMetrics.Objective {
-			// Assignments from a smaller virtual pipeline remain valid in
-			// the full instance (stages only extend).
-			best, bestMetrics = a, m
+		results[idx] = trialOut{
+			a:  a,
+			m:  model.ComputeMetrics(&trial, a, opts.Build.Consolidate),
+			ok: true,
+		}
+	}
+	if workers <= 1 {
+		for idx := 0; idx < trials; idx++ {
+			runTrial(idx)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range next {
+					runTrial(idx)
+				}
+			}()
+		}
+		for idx := 0; idx < trials; idx++ {
+			next <- idx
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	best := emptyAssignment(in)
+	bestMetrics := model.ComputeMetrics(in, best, opts.Build.Consolidate)
+	for idx := 0; idx < trials; idx++ {
+		if err := results[idx].err; err != nil {
+			return nil, err
+		}
+		if !results[idx].ok {
+			continue
+		}
+		// Strict improvement in ascending r: ties keep the smaller budget.
+		// Assignments from a smaller virtual pipeline remain valid in the
+		// full instance (stages only extend).
+		if results[idx].m.Objective > bestMetrics.Objective {
+			best, bestMetrics = results[idx].a, results[idx].m
 		}
 	}
 
@@ -77,6 +157,15 @@ func SolveApprox(in *model.Instance, opts ApproxOptions) (*Result, error) {
 		Elapsed:    time.Since(start),
 		Status:     "rounded",
 	}, nil
+}
+
+// trialSeed derives an independent RNG seed for recirculation trial r from
+// the user seed (splitmix-style mixing so nearby seeds do not correlate).
+func trialSeed(seed int64, r int) int64 {
+	z := uint64(seed) + (uint64(r)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // roundAndRepair performs the rounding loop of Algorithm 1 for one

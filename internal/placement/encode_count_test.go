@@ -1,0 +1,63 @@
+package placement
+
+import (
+	"testing"
+
+	"sfp/internal/lp"
+	"sfp/internal/model"
+)
+
+// TestSolveApproxEncodesOnce pins the encode-hoisting optimization: one
+// SolveApprox call over a full recirculation sweep (r = 0..R, R+1 trials)
+// must build the model exactly once — trials clone the LP and patch bounds
+// via RestrictRecirc instead of re-encoding.
+func TestSolveApproxEncodesOnce(t *testing.T) {
+	in := sweepInstance(7, 8) // Recirc = 2 → three trials
+	before := model.BuildCalls()
+	res, err := SolveApprox(in, ApproxOptions{Build: model.BuildOptions{Consolidate: true}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment == nil {
+		t.Fatal("no assignment")
+	}
+	if d := model.BuildCalls() - before; d != 1 {
+		t.Fatalf("SolveApprox built the model %d times across a %d-trial sweep, want 1",
+			d, in.Recirc+1)
+	}
+}
+
+// TestRestrictRecircMatchesReencode checks the patched clone solves to the
+// same LP optimum as a from-scratch encode at the reduced budget — the
+// feasible sets coincide, so the objectives must agree.
+func TestRestrictRecircMatchesReencode(t *testing.T) {
+	in := sweepInstance(13, 8)
+	enc, err := model.Build(in, model.BuildOptions{Consolidate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r <= in.Recirc; r++ {
+		q := enc.Prob.Clone()
+		enc.RestrictRecirc(q, r)
+		patched, err := q.Solve(lp.Options{})
+		if err != nil {
+			t.Fatalf("r=%d patched: %v", r, err)
+		}
+		reduced := *in
+		reduced.Recirc = r
+		enc2, err := model.Build(&reduced, model.BuildOptions{Consolidate: true})
+		if err != nil {
+			t.Fatalf("r=%d re-encode: %v", r, err)
+		}
+		fresh, err := enc2.Prob.Solve(lp.Options{})
+		if err != nil {
+			t.Fatalf("r=%d fresh: %v", r, err)
+		}
+		if patched.Status != fresh.Status {
+			t.Fatalf("r=%d: patched %v, fresh %v", r, patched.Status, fresh.Status)
+		}
+		if diff := patched.Objective - fresh.Objective; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("r=%d: patched objective %v, fresh %v", r, patched.Objective, fresh.Objective)
+		}
+	}
+}

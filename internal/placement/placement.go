@@ -14,6 +14,7 @@ package placement
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"sfp/internal/ilp"
@@ -58,6 +59,10 @@ type IPOptions struct {
 	// (e.g. an SFP-Appro result) in addition to the greedy warm start; the
 	// better incumbent wins. Ignored under NoWarmStart.
 	WarmFrom *model.Assignment
+	// Workers sets the branch-and-bound worker count (see ilp.Options
+	// .Workers): 0 or 1 solves serially with the bit-for-bit reproducible
+	// node order, n > 1 searches the tree with n concurrent workers.
+	Workers int
 }
 
 // exactConsistencyLimit bounds the instance size (Σ_l J_l · K) for which
@@ -101,9 +106,13 @@ func SolveIP(in *model.Instance, opts IPOptions) (*Result, error) {
 	}
 	// Domain primal heuristic: round the node's LP point with the same
 	// structured randomized rounding Algorithm 1 uses, repair it, and hand
-	// the branch-and-bound a feasible incumbent candidate.
+	// the branch-and-bound a feasible incumbent candidate. The mutex keeps
+	// the shared RNG safe when parallel workers invoke the heuristic.
 	hRng := rand.New(rand.NewSource(4242))
+	var hMu sync.Mutex
 	heuristic := func(x []float64) []float64 {
+		hMu.Lock()
+		defer hMu.Unlock()
 		a, ok := roundAndRepair(in, enc, x, ApproxOptions{Build: build, Rounds: 8}, hRng)
 		if !ok {
 			return nil
@@ -124,6 +133,7 @@ func SolveIP(in *model.Instance, opts IPOptions) (*Result, error) {
 		CeilVars:     enc.AuxVars(),
 		WarmStart:    warm,
 		Heuristic:    heuristic,
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,60 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfp/internal/model"
+	"sfp/internal/traffic"
+)
+
+// Solver benchmarks at the Fig-8 experiment scale (§VI-C): these are the
+// workloads BENCH_solver.json tracks across the control-plane fast path.
+// Run via scripts/check.sh bench.
+
+func fig8Instance(seed int64, L int) *model.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return &model.Instance{
+		Switch:   model.DefaultSwitchConfig(),
+		NumTypes: 10,
+		Recirc:   2,
+		Chains:   traffic.GenChains(rng, L, traffic.ChainParams{MeanLen: 5}),
+	}
+}
+
+// BenchmarkSolveIP measures branch and bound on a Fig-8-scale instance with
+// a fixed node budget, so the metric is per-node solver cost rather than
+// search-order luck.
+func BenchmarkSolveIP(b *testing.B) {
+	in := fig8Instance(860, 6)
+	for i := 0; i < b.N; i++ {
+		res, err := SolveIP(in, IPOptions{
+			Build:    model.BuildOptions{Consolidate: true},
+			MaxNodes: 60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Assignment == nil {
+			b.Fatal("no assignment")
+		}
+	}
+}
+
+// BenchmarkSolveApprox measures Algorithm 1 (LP relaxation + randomized
+// rounding, full recirculation sweep) at the Fig-8 approximation scale.
+func BenchmarkSolveApprox(b *testing.B) {
+	in := fig8Instance(1100, 30)
+	for i := 0; i < b.N; i++ {
+		res, err := SolveApprox(in, ApproxOptions{
+			Build: model.BuildOptions{Consolidate: true},
+			Seed:  7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Assignment == nil {
+			b.Fatal("no assignment")
+		}
+	}
+}
