@@ -24,6 +24,7 @@ func main() {
 		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
 		workers = flag.Int("workers", 1, "traffic-engine workers for the data-plane figures (0 = GOMAXPROCS; 1 = sequential reference)")
 		solverW = flag.Int("solver-workers", 1, "control-plane solver workers for the placement figures (0 = GOMAXPROCS; 1 = serial reference; same results for fixed seeds at any count)")
+		batch   = flag.Int("batch", 8, "ArriveMany chunk size for the churn experiment")
 	)
 	flag.Parse()
 
@@ -69,6 +70,8 @@ func main() {
 		{"11", func() (*experiments.Table, error) { return experiments.Fig11(sc) }},
 		{"savings", func() (*experiments.Table, error) { return experiments.OffloadSavings(sc) }},
 		{"latency-load", func() (*experiments.Table, error) { return experiments.LatencyUnderLoad() }},
+		// Not part of "all": a throughput measurement, not a paper figure.
+		{"churn", func() (*experiments.Table, error) { return experiments.Churn(sc, *batch) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -88,7 +91,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings)\n", *figs)
+		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn)\n", *figs)
 		os.Exit(2)
 	}
 }

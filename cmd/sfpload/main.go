@@ -36,6 +36,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "flow RNG seed")
 		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel injection connections (1 reproduces the sequential numbers bit-for-bit)")
+		arrivals = flag.Int("arrivals", 0, "provisioning mode: drive this many tenant arrivals (then departures) through the southbound API and report arrivals/sec instead of injecting traffic")
+		batch    = flag.Int("batch", 0, "sub-ops per MsgBatch frame in provisioning mode, pipelined on one connection (0 = one synchronous RPC per op)")
 	)
 	flag.Parse()
 
@@ -59,6 +61,13 @@ func main() {
 		if _, _, err := cli.Allocate(sfc); err != nil {
 			fmt.Fprintf(os.Stderr, "sfpload: allocate: %v (continuing)\n", err)
 		}
+	}
+
+	if *arrivals > 0 {
+		if err := provision(cli, uint32(*tenant), vip, *arrivals, *batch); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// One connection per injection worker; worker 0 reuses the setup client.
@@ -131,6 +140,64 @@ func demoSFC(tenant uint32, vip uint32) *vswitch.SFC {
 			}}},
 		},
 	}
+}
+
+// provision measures southbound provisioning throughput: n tenant
+// arrivals (each the demo 4-NF chain at 1 Gbps) followed by n departures.
+// With batch == 0 every op is one synchronous RPC — the serial baseline.
+// With batch > 0 ops are coalesced into MsgBatch frames of that size and
+// pipelined on the one connection via GoBatch/Flush.
+func provision(cli *p4rt.Client, base uint32, vip uint32, n, batch int) error {
+	specs := make([]*vswitch.SFC, n)
+	for i := range specs {
+		specs[i] = demoSFC(base+1+uint32(i), vip)
+		specs[i].BandwidthGbps = 1 // many small tenants, not one big one
+	}
+	start := time.Now()
+	if batch <= 0 {
+		for _, sfc := range specs {
+			if _, _, err := cli.Allocate(sfc); err != nil {
+				return fmt.Errorf("allocate tenant %d: %w", sfc.Tenant, err)
+			}
+		}
+		for _, sfc := range specs {
+			if err := cli.Deallocate(sfc.Tenant); err != nil {
+				return fmt.Errorf("deallocate tenant %d: %w", sfc.Tenant, err)
+			}
+		}
+	} else {
+		for lo := 0; lo < n; lo += batch {
+			hi := min(lo+batch, n)
+			ops := make([]p4rt.BatchOp, 0, hi-lo)
+			for _, sfc := range specs[lo:hi] {
+				ops = append(ops, p4rt.OpAllocate(sfc))
+			}
+			cli.GoBatch(ops, nil)
+		}
+		if err := cli.Flush(); err != nil {
+			return fmt.Errorf("allocate batch: %w", err)
+		}
+		for lo := 0; lo < n; lo += batch {
+			hi := min(lo+batch, n)
+			ops := make([]p4rt.BatchOp, 0, hi-lo)
+			for _, sfc := range specs[lo:hi] {
+				ops = append(ops, p4rt.OpDeallocate(sfc.Tenant))
+			}
+			cli.GoBatch(ops, nil)
+		}
+		if err := cli.Flush(); err != nil {
+			return fmt.Errorf("deallocate batch: %w", err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	mode := "serial (1 op/RPC)"
+	if batch > 0 {
+		mode = fmt.Sprintf("batched (%d ops/frame, pipelined)", batch)
+	}
+	fmt.Printf("provisioning %s: %d arrivals + %d departures in %.3fs\n", mode, n, n, elapsed)
+	fmt.Printf("  %.0f arrivals/s, %.0f southbound ops/s\n",
+		float64(n)/elapsed, float64(2*n)/elapsed)
+	return nil
 }
 
 // inject replays the frames across the worker connections (contiguous

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sfp/internal/model"
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// arrivalBatch derives n fresh tenants (IDs offset past the provisioned
+// ones) from the deterministic generator.
+func arrivalBatch(seed int64, n int, offset uint32) []*vswitch.SFC {
+	out := smallBatch(seed, n)
+	for _, s := range out {
+		s.Tenant += offset
+	}
+	return out
+}
+
+// TestArriveManyMatchesSequential: with a fixed seed, a batched arrival
+// admits a superset-or-equal set of tenants compared to one-at-a-time
+// Arrive calls, and leaves a model.Verify-clean data plane for whatever
+// it admitted.
+func TestArriveManyMatchesSequential(t *testing.T) {
+	seqC := New(testOptions(AlgoGreedy))
+	batC := New(testOptions(AlgoGreedy))
+	if _, err := seqC.Provision(smallBatch(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batC.Provision(smallBatch(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	arrivals := arrivalBatch(11, 4, 100)
+	seqAdmitted := map[uint32]bool{}
+	for _, s := range arrivals {
+		placed, err := seqC.Arrive(s)
+		if err != nil {
+			t.Fatalf("sequential arrive %d: %v", s.Tenant, err)
+		}
+		if placed {
+			seqAdmitted[s.Tenant] = true
+		}
+	}
+
+	placed, err := batC.ArriveMany(arrivalBatch(11, 4, 100))
+	if err != nil {
+		t.Fatalf("ArriveMany: %v", err)
+	}
+	batAdmitted := map[uint32]bool{}
+	for _, tenant := range placed {
+		batAdmitted[tenant] = true
+	}
+	for tenant := range seqAdmitted {
+		if !batAdmitted[tenant] {
+			t.Errorf("sequential admitted tenant %d but the batch did not", tenant)
+		}
+	}
+
+	// The planner's view of the batched controller is internally consistent.
+	in, a, _, err := batC.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Verify(in, a, batC.opts.Consolidate); err != nil {
+		t.Errorf("model.Verify after ArriveMany: %v", err)
+	}
+	// And the data plane agrees with it: every admitted tenant is live
+	// with the modeled pass count, bandwidth totals match.
+	for _, tenant := range placed {
+		if batC.VSwitch().Allocations(tenant) == nil {
+			t.Errorf("tenant %d admitted but not installed", tenant)
+		}
+	}
+	m, _ := batC.Metrics()
+	if got := batC.VSwitch().BandwidthUsed(); got < m.BackplaneGbps-1e-6 || got > m.BackplaneGbps+1e-6 {
+		t.Errorf("vswitch bandwidth %v, model backplane %v", got, m.BackplaneGbps)
+	}
+}
+
+// tinyArrival is a one-NF chain small enough to always fit.
+func tinyArrival(tenant uint32, gbps float64) *vswitch.SFC {
+	return &vswitch.SFC{
+		Tenant:        tenant,
+		BandwidthGbps: gbps,
+		NFs: []*nf.Config{
+			{Type: nf.Firewall, Rules: []nf.ConfigRule{{
+				Matches: []pipeline.Match{pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard(), pipeline.Wildcard()},
+				Action:  "permit",
+			}}},
+		},
+	}
+}
+
+func TestArriveManyValidation(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	if _, err := c.ArriveMany([]*vswitch.SFC{tinyArrival(1, 1)}); err == nil {
+		t.Error("ArriveMany before provision accepted")
+	}
+	if _, err := c.Provision(smallBatch(12, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if placed, err := c.ArriveMany(nil); err != nil || placed != nil {
+		t.Errorf("empty batch: placed=%v err=%v", placed, err)
+	}
+	// A tenant already known is rejected before anything registers.
+	known := c.PlacedTenants()[0]
+	if _, err := c.ArriveMany([]*vswitch.SFC{tinyArrival(known, 1)}); err == nil {
+		t.Error("known-tenant batch accepted")
+	}
+	// So is an intra-batch duplicate.
+	if _, err := c.ArriveMany([]*vswitch.SFC{tinyArrival(300, 1), tinyArrival(300, 1)}); err == nil {
+		t.Error("duplicate-tenant batch accepted")
+	}
+	if _, known := c.sfcs[300]; known {
+		t.Error("rejected batch leaked into the registry")
+	}
+	// A clean batch of two still lands.
+	placed, err := c.ArriveMany([]*vswitch.SFC{tinyArrival(300, 1), tinyArrival(301, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 2 {
+		t.Errorf("placed %v, want both 300 and 301", placed)
+	}
+}
+
+// TestArriveManyRollbackForgetsBatch mirrors TestArriveRollbackForgetsTenant
+// for the batched path: when the delta install fails, the data plane is
+// rolled back and the whole batch is withdrawn — retryable later.
+func TestArriveManyRollbackForgetsBatch(t *testing.T) {
+	opts := testOptions(AlgoGreedy)
+	opts.Pipeline.CapacityGbps = 40
+	c := New(opts)
+	if _, err := c.Provision([]*vswitch.SFC{tinyArrival(1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	// A rogue tenant eats bandwidth behind the planner's back, so the
+	// planner admits the arrivals but the data plane refuses them.
+	if _, err := c.VSwitch().Allocate(tinyArrival(999, 25)); err != nil {
+		t.Fatal(err)
+	}
+	entries := c.VSwitch().Pipe.EntriesUsed()
+
+	_, err := c.ArriveMany([]*vswitch.SFC{tinyArrival(50, 10), tinyArrival(51, 10)})
+	if err == nil {
+		t.Fatal("overcommitted batch arrival succeeded")
+	}
+	var pf *PartialFailureError
+	if !errors.As(err, &pf) || pf.Op != "arrive" {
+		t.Fatalf("error is %T (%v), want *PartialFailureError op=arrive", err, err)
+	}
+	if got := c.VSwitch().Pipe.EntriesUsed(); got != entries {
+		t.Errorf("entries = %d after rollback, want %d", got, entries)
+	}
+	for _, tenant := range []uint32{50, 51} {
+		if _, known := c.sfcs[tenant]; known {
+			t.Errorf("tenant %d still registered after failed batch", tenant)
+		}
+		if c.placed[tenant] {
+			t.Errorf("tenant %d still marked placed", tenant)
+		}
+	}
+	// Free the rogue capacity: the same batch then succeeds.
+	if err := c.VSwitch().Deallocate(999); err != nil {
+		t.Fatal(err)
+	}
+	placed, err := c.ArriveMany([]*vswitch.SFC{tinyArrival(50, 10), tinyArrival(51, 10)})
+	if err != nil {
+		t.Fatalf("retry after freeing capacity: %v", err)
+	}
+	if len(placed) != 2 {
+		t.Errorf("placed %v, want [50 51]", placed)
+	}
+}

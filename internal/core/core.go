@@ -11,6 +11,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -249,10 +250,12 @@ func (c *Controller) LastProvision() ProvisionInfo { return c.lastInfo }
 // out (resources!) remain known as candidates for later replans. It returns
 // the achieved metrics.
 func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
+	byTenant := make(map[uint32]*vswitch.SFC, len(sfcs))
 	for _, s := range sfcs {
 		if _, dup := c.sfcs[s.Tenant]; dup {
 			return model.Metrics{}, fmt.Errorf("core: tenant %d already provisioned", s.Tenant)
 		}
+		byTenant[s.Tenant] = s
 	}
 	if c.updater != nil {
 		return model.Metrics{}, fmt.Errorf("core: already provisioned; use Arrive/Depart")
@@ -263,7 +266,7 @@ func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
 		return model.Metrics{}, err
 	}
 	c.lastInfo = info
-	journal, err := c.install("provision", in, res.Assignment, sfcs)
+	journal, err := c.install("provision", in, res.Assignment, byTenant)
 	if err != nil {
 		return model.Metrics{}, err
 	}
@@ -289,9 +292,12 @@ func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
 // data plane is never left half-configured. Failures surface as
 // *PartialFailureError. On success the journal is returned so the caller
 // can extend the transaction (e.g. roll back if a later step fails).
-func (c *Controller) install(op string, in *model.Instance, a *model.Assignment, sfcs []*vswitch.SFC) (*installJournal, error) {
+// byTenant maps tenant ID to chain definition for every tenant the
+// assignment may deploy (extra entries are harmless — already-placed
+// tenants are skipped).
+func (c *Controller) install(op string, in *model.Instance, a *model.Assignment, byTenant map[uint32]*vswitch.SFC) (*installJournal, error) {
 	journal := &installJournal{}
-	if err := c.apply(in, a, sfcs, journal); err != nil {
+	if err := c.apply(in, a, byTenant, journal); err != nil {
 		pf := c.partialFailure(op, err, journal)
 		c.logf("core: %v", pf)
 		return nil, pf
@@ -300,7 +306,7 @@ func (c *Controller) install(op string, in *model.Instance, a *model.Assignment,
 }
 
 // apply performs the install steps, recording each in the journal.
-func (c *Controller) apply(in *model.Instance, a *model.Assignment, sfcs []*vswitch.SFC, journal *installJournal) error {
+func (c *Controller) apply(in *model.Instance, a *model.Assignment, byTenant map[uint32]*vswitch.SFC, journal *installJournal) error {
 	S := in.Switch.Stages
 	E := in.Switch.EntriesPerBlock
 
@@ -357,11 +363,13 @@ func (c *Controller) apply(in *model.Instance, a *model.Assignment, sfcs []*vswi
 			journal.physical = append(journal.physical, StagedNF{Stage: s, Type: typ})
 		}
 	}
-	// Install tenant rules at the optimizer's placements.
-	byTenant := map[uint32]*vswitch.SFC{}
-	for _, s := range sfcs {
-		byTenant[s.Tenant] = s
-	}
+	// Install tenant rules at the optimizer's placements, all pending
+	// tenants in one batch pass over the pipeline. AllocateBatch admits
+	// item-by-item exactly as sequential AllocateAt calls would, and on
+	// failure rolls its partial application back internally; the tenants
+	// it undid are recorded in the journal so the PartialFailureError
+	// reports them as rolled back.
+	items := make([]vswitch.BatchItem, 0, len(in.Chains))
 	for l, ch := range in.Chains {
 		if !a.Deployed(l) {
 			continue
@@ -379,11 +387,23 @@ func (c *Controller) apply(in *model.Instance, a *model.Assignment, sfcs []*vswi
 				Pass:    k / S,
 			}
 		}
-		if _, err := c.v.AllocateAt(sfc, placements); err != nil {
-			return fmt.Errorf("core: installing tenant %d: %w", sfc.Tenant, err)
+		items = append(items, vswitch.BatchItem{SFC: sfc, Placements: placements})
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	allocs, err := c.v.AllocateBatch(items)
+	if err != nil {
+		var be *vswitch.BatchError
+		if errors.As(err, &be) {
+			journal.undone = append(journal.undone, be.Applied...)
+			return fmt.Errorf("core: installing tenant %d: %w", be.Tenant, be.Cause)
 		}
-		c.placed[sfc.Tenant] = true
-		journal.tenants = append(journal.tenants, sfc.Tenant)
+		return err
+	}
+	for _, al := range allocs {
+		c.placed[al.Tenant] = true
+		journal.tenants = append(journal.tenants, al.Tenant)
 	}
 	return nil
 }
@@ -414,42 +434,92 @@ func (c *Controller) Depart(tenant uint32) error {
 // are placed into free resources. It reports whether this tenant was
 // placed.
 func (c *Controller) Arrive(sfc *vswitch.SFC) (bool, error) {
-	if c.updater == nil {
-		return false, fmt.Errorf("core: not provisioned")
-	}
-	if _, dup := c.sfcs[sfc.Tenant]; dup {
-		return false, fmt.Errorf("core: tenant %d already known", sfc.Tenant)
-	}
-	ch := c.buildInstance([]*vswitch.SFC{sfc}).Chains[0]
-	if err := c.updater.Arrive(ch); err != nil {
-		return false, err
-	}
-	c.sfcs[sfc.Tenant] = sfc
-	if _, err := c.updater.Replan(placement.ReplanOptions{TimeLimit: c.opts.SolverTimeLimit}); err != nil {
-		return false, err
-	}
-	// Realize every newly live chain in the data plane.
-	in, a, _ := c.updater.Current()
-	var newSFCs []*vswitch.SFC
-	for l, chain := range in.Chains {
-		if a.Deployed(l) && !c.placed[uint32(chain.ID)] {
-			if s, ok := c.sfcs[uint32(chain.ID)]; ok {
-				newSFCs = append(newSFCs, s)
-			}
-		}
-		_ = l
-	}
-	if _, err := c.install("arrive", in, a, newSFCs); err != nil {
-		// The data plane was rolled back by install; also erase the
-		// arrival from the planner and the tenant registry so the whole
-		// controller forgets it, as if Arrive was never called. Earlier
-		// waiting candidates the replan admitted stay known and will be
-		// retried by the next replan.
-		c.updater.Withdraw(int(sfc.Tenant))
-		delete(c.sfcs, sfc.Tenant)
+	if _, err := c.ArriveMany([]*vswitch.SFC{sfc}); err != nil {
 		return false, err
 	}
 	return c.placed[sfc.Tenant], nil
+}
+
+// ArriveMany registers a batch of new tenant SFCs and amortizes the
+// arrival cost: all chains are registered first, ONE incremental replan
+// places them (plus any earlier waiting candidates), and the delta is
+// installed in a single batch pass over the data plane. It returns the
+// tenants from this batch that were placed. On an install failure the
+// data plane is rolled back and the whole batch is withdrawn from the
+// planner and registry, as if ArriveMany was never called; earlier
+// waiting candidates the replan admitted stay known and will be retried
+// by the next replan. A replan failure leaves the batch registered as
+// waiting candidates (matching Arrive's long-standing semantics).
+func (c *Controller) ArriveMany(sfcs []*vswitch.SFC) ([]uint32, error) {
+	if c.updater == nil {
+		return nil, fmt.Errorf("core: not provisioned")
+	}
+	if len(sfcs) == 0 {
+		return nil, nil
+	}
+	for i, s := range sfcs {
+		if _, dup := c.sfcs[s.Tenant]; dup {
+			return nil, fmt.Errorf("core: tenant %d already known", s.Tenant)
+		}
+		for _, earlier := range sfcs[:i] {
+			if earlier.Tenant == s.Tenant {
+				return nil, fmt.Errorf("core: tenant %d appears twice in batch", s.Tenant)
+			}
+		}
+	}
+	for _, s := range sfcs {
+		ch := c.buildInstance([]*vswitch.SFC{s}).Chains[0]
+		if err := c.updater.Arrive(ch); err != nil {
+			// Withdraw the part of the batch already registered so the
+			// planner matches the registry.
+			for _, done := range sfcs {
+				if done.Tenant == s.Tenant {
+					break
+				}
+				c.updater.Withdraw(int(done.Tenant))
+				delete(c.sfcs, done.Tenant)
+			}
+			return nil, err
+		}
+		c.sfcs[s.Tenant] = s
+	}
+	if err := c.replan(); err != nil {
+		return nil, err
+	}
+	// Realize every newly live chain in the data plane in one batch.
+	in, a, _ := c.updater.Current()
+	if _, err := c.install("arrive", in, a, c.sfcs); err != nil {
+		// The data plane was rolled back by install; also erase the whole
+		// batch from the planner and the tenant registry so the controller
+		// forgets it.
+		for _, s := range sfcs {
+			c.updater.Withdraw(int(s.Tenant))
+			delete(c.sfcs, s.Tenant)
+		}
+		return nil, err
+	}
+	var placed []uint32
+	for _, s := range sfcs {
+		if c.placed[s.Tenant] {
+			placed = append(placed, s.Tenant)
+		}
+	}
+	return placed, nil
+}
+
+// replan runs one incremental replan with the controller's configured
+// algorithm. Greedy controllers take the pin-respecting greedy pass
+// (§V-D's prompt update): unlike the pinned IP it cannot time out, so a
+// large ArriveMany batch never silently strands the whole chunk as
+// waiting candidates. Everything else keeps the pinned IP under the
+// solver time limit.
+func (c *Controller) replan() error {
+	if c.opts.Algorithm == AlgoGreedy {
+		_, err := c.updater.ReplanGreedy()
+		return err
+	}
+	_, err := c.updater.Replan(placement.ReplanOptions{TimeLimit: c.opts.SolverTimeLimit})
+	return err
 }
 
 // Snapshot exposes the planner's current instance, assignment, and
@@ -491,11 +561,7 @@ func (c *Controller) ReconfigureIfStale(threshold float64) (bool, error) {
 	c.v = vswitch.New(pipeline.New(c.opts.Pipeline))
 	c.placed = make(map[uint32]bool)
 	in, a, _ := c.updater.Current()
-	var all []*vswitch.SFC
-	for _, s := range c.sfcs {
-		all = append(all, s)
-	}
-	if _, err := c.install("reconfigure", in, a, all); err != nil {
+	if _, err := c.install("reconfigure", in, a, c.sfcs); err != nil {
 		return true, err
 	}
 	return true, nil

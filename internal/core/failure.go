@@ -56,6 +56,10 @@ type installJournal struct {
 	tenants []uint32
 	// physical NFs newly created (not pre-existing ones that were grown).
 	physical []StagedNF
+	// undone lists tenants a lower layer (vswitch.AllocateBatch) installed
+	// and already rolled back itself; they are reported as rolled back but
+	// need no further Deallocate.
+	undone []uint32
 }
 
 // rollback undoes a journal in reverse order: tenant rules first (so the
@@ -68,6 +72,13 @@ func (c *Controller) rollback(j *installJournal) (tenants []uint32, removed []St
 		if err := c.v.Deallocate(t); err == nil {
 			tenants = append(tenants, t)
 		}
+		delete(c.placed, t)
+	}
+	// Tenants the batch layer already undid: report them (reverse order,
+	// matching the undo order) without touching the data plane again.
+	for i := len(j.undone) - 1; i >= 0; i-- {
+		t := j.undone[i]
+		tenants = append(tenants, t)
 		delete(c.placed, t)
 	}
 	for i := len(j.physical) - 1; i >= 0; i-- {

@@ -1,0 +1,116 @@
+package experiments
+
+// Provisioning churn: how fast the controller absorbs tenant arrivals.
+// Sequential Arrive pays one incremental replan plus one data-plane
+// install round per tenant; ArriveMany amortizes both — one replan and
+// one batched install per chunk. This experiment drives the same arrival
+// stream through both paths on identical controllers and reports
+// arrivals/sec, the control-plane counterpart of the southbound
+// BENCH_provision.json gate.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sfp/internal/core"
+	"sfp/internal/nf"
+	"sfp/internal/traffic"
+	"sfp/internal/vswitch"
+)
+
+// churnSFCs draws n chains per the §VI-A dataset description, with tenant
+// IDs offset so seed tenants and arrivals never collide.
+func churnSFCs(seed int64, n, offset int) []*vswitch.SFC {
+	rng := rand.New(rand.NewSource(seed))
+	chains := traffic.GenChains(rng, n, traffic.ChainParams{
+		NumTypes: nf.TypeCount, MeanLen: 3, RuleMin: 5, RuleMax: 20,
+	})
+	out := make([]*vswitch.SFC, 0, n)
+	for _, c := range chains {
+		s := traffic.ToSFC(rng, c, 20)
+		s.Tenant += uint32(offset)
+		out = append(out, s)
+	}
+	return out
+}
+
+// churnController builds one greedy controller provisioned with the seed
+// tenants. Both measurement arms start from this identical state.
+func churnController(seeds []*vswitch.SFC) (*core.Controller, error) {
+	c := core.New(core.Options{
+		Algorithm:   core.AlgoGreedy,
+		Consolidate: true,
+		Recirc:      2,
+		Seed:        1,
+	})
+	if _, err := c.Provision(seeds); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Churn measures arrival throughput under churn: the same arrival stream
+// absorbed one tenant at a time (Arrive) vs in amortized chunks of batch
+// (ArriveMany). Rows are (batch_size, arrivals, placed, seconds,
+// arrivals_per_s); batch_size 1 is the sequential baseline.
+func Churn(sc Scale, batch int) (*Table, error) {
+	seedTenants := sc.ChurnSeedTenants
+	if seedTenants <= 0 {
+		seedTenants = 6
+	}
+	arrivals := sc.ChurnArrivals
+	if arrivals <= 0 {
+		arrivals = 96
+	}
+	if batch <= 1 {
+		batch = 8
+	}
+	seeds := churnSFCs(31, seedTenants, 0)
+	stream := churnSFCs(32, arrivals, 1000)
+
+	tbl := &Table{
+		Title:   fmt.Sprintf("Provisioning churn: Arrive vs ArriveMany(batch=%d), greedy planner", batch),
+		Columns: []string{"batch_size", "arrivals", "placed", "seconds", "arrivals_per_s"},
+		Notes: []string{
+			fmt.Sprintf("%d seed tenants provisioned first; %d arrivals timed (replan + data-plane install)", seedTenants, arrivals),
+			"batch_size 1 = one incremental replan per arrival; larger = one replan per chunk",
+		},
+	}
+
+	for _, chunk := range []int{1, batch} {
+		ctl, err := churnController(seeds)
+		if err != nil {
+			return nil, err
+		}
+		placed := 0
+		start := time.Now()
+		for lo := 0; lo < len(stream); lo += chunk {
+			hi := min(lo+chunk, len(stream))
+			if chunk == 1 {
+				ok, err := ctl.Arrive(stream[lo])
+				if err != nil {
+					return nil, fmt.Errorf("arrive tenant %d: %w", stream[lo].Tenant, err)
+				}
+				if ok {
+					placed++
+				}
+				continue
+			}
+			got, err := ctl.ArriveMany(stream[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("arrive batch [%d,%d): %w", lo, hi, err)
+			}
+			placed += len(got)
+		}
+		secs := time.Since(start).Seconds()
+		rate := 0.0
+		if secs > 0 {
+			rate = float64(len(stream)) / secs
+		}
+		tbl.Rows = append(tbl.Rows, []float64{
+			float64(chunk), float64(len(stream)), float64(placed), secs, rate,
+		})
+	}
+	return tbl, nil
+}

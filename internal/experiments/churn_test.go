@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestChurnShape(t *testing.T) {
+	sc := QuickScale()
+	sc.ChurnSeedTenants = 4
+	sc.ChurnArrivals = 8
+	tbl, err := Churn(sc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (sequential + batched)", len(tbl.Rows))
+	}
+	seq, bat := tbl.Rows[0], tbl.Rows[1]
+	if seq[0] != 1 || bat[0] != 4 {
+		t.Fatalf("batch sizes = %v, %v; want 1 and 4", seq[0], bat[0])
+	}
+	for i, row := range tbl.Rows {
+		if row[1] != 8 {
+			t.Errorf("row %d arrivals = %v, want 8", i, row[1])
+		}
+		if row[2] < 0 || row[2] > 8 {
+			t.Errorf("row %d placed = %v out of range", i, row[2])
+		}
+		if row[4] <= 0 {
+			t.Errorf("row %d rate = %v, want > 0", i, row[4])
+		}
+	}
+	// Same arrival stream on identical controllers: the amortized path
+	// must admit at least as many tenants as the sequential one.
+	if bat[2] < seq[2] {
+		t.Errorf("batched placed %v < sequential %v", bat[2], seq[2])
+	}
+}

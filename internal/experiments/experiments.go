@@ -97,6 +97,10 @@ type Scale struct {
 	// recirculation trials for SFP-Appro (0 or 1 = serial reference).
 	// Results for a fixed seed are identical at any worker count.
 	SolverWorkers int
+	// ChurnSeedTenants / ChurnArrivals size the provisioning-churn
+	// experiment (tenants provisioned up front, then arrivals driven
+	// through Arrive vs ArriveMany). Zero means Churn's defaults.
+	ChurnSeedTenants, ChurnArrivals int
 }
 
 // QuickScale returns a configuration that regenerates every figure's shape

@@ -110,6 +110,32 @@ func (t *FlakyTarget) Inject(wire []byte, nowNs float64) (p4rt.InjectResult, err
 	return t.inner.Inject(wire, nowNs)
 }
 
+// RemovePhysical implements p4rt.PhysicalRemover by forwarding to the
+// inner target. It is NOT gated: the server only calls it while rolling a
+// failed batch back, and injecting a second fault mid-rollback would test
+// the inner target, not the protocol.
+func (t *FlakyTarget) RemovePhysical(stage int, typ nf.Type) error {
+	r, ok := t.inner.(p4rt.PhysicalRemover)
+	if !ok {
+		return fmt.Errorf("faultnet: inner target cannot remove physical NFs")
+	}
+	return r.RemovePhysical(stage, typ)
+}
+
+// TenantSnapshot implements p4rt.TenantSnapshotter by forwarding to the
+// inner target, ungated (used only to journal a deallocate's undo).
+func (t *FlakyTarget) TenantSnapshot(tenant uint32) (func() error, error) {
+	s, ok := t.inner.(p4rt.TenantSnapshotter)
+	if !ok {
+		return nil, fmt.Errorf("faultnet: inner target cannot snapshot tenants")
+	}
+	return s.TenantSnapshot(tenant)
+}
+
+// FlakyTarget deliberately does NOT implement p4rt.BatchAllocator: batches
+// dispatched through it take the server's per-op path, so every sub-op is
+// individually gated by the fault schedule.
+
 // Layout implements p4rt.Target.
 func (t *FlakyTarget) Layout() [][]string { return t.inner.Layout() }
 

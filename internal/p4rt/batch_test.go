@@ -1,0 +1,206 @@
+package p4rt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// batchPlacements is the one-pass landing spot for wireSFC on the
+// 3-stage startServer pipeline (firewall stage 0, router stage 1).
+func batchPlacements() []vswitch.Placement {
+	return []vswitch.Placement{
+		{NFIndex: 0, Type: nf.Firewall, Stage: 0, Pass: 0},
+		{NFIndex: 1, Type: nf.Router, Stage: 1, Pass: 0},
+	}
+}
+
+func TestBatchAppliesAllOps(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+
+	pls := batchPlacements()
+	results, err := c.Batch([]BatchOp{
+		OpInstallPhysical(0, nf.Firewall, 100),
+		OpInstallPhysical(1, nf.Router, 100),
+		OpAllocateAt(wireSFC(1), pls), // consecutive run: exercises the
+		OpAllocateAt(wireSFC(2), pls), // grouped AllocateBatch fast path
+		OpDeallocate(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	for i, r := range results {
+		if !r.OK {
+			t.Errorf("op %d failed: %s", i, r.Error)
+		}
+	}
+	if results[2].Passes != 1 {
+		t.Errorf("allocate_at result = %d passes, want 1", results[2].Passes)
+	}
+	if v.Tenants() != 1 {
+		t.Errorf("tenants = %d, want 1 (tenant 2 stays, tenant 1 deallocated)", v.Tenants())
+	}
+	if v.Allocations(2) == nil || v.Allocations(1) != nil {
+		t.Error("wrong tenant survived the batch")
+	}
+}
+
+func TestBatchAllOrNothingRollback(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+	baseEntries := v.Pipe.EntriesUsed()
+
+	pls := batchPlacements()
+	// The last op allocates tenant 1 a second time — a hard failure after
+	// physical installs and a grouped allocate run already applied.
+	_, err := c.Batch([]BatchOp{
+		OpInstallPhysical(0, nf.Firewall, 100),
+		OpInstallPhysical(1, nf.Router, 100),
+		OpAllocateAt(wireSFC(1), pls),
+		OpAllocateAt(wireSFC(2), pls),
+		OpAllocateAt(wireSFC(1), pls),
+	})
+	if err == nil {
+		t.Fatal("failing batch reported success")
+	}
+	// The three allocate_at ops run as one grouped batch (ops 2-4); a
+	// failure inside it is attributed to the run's first op, with the
+	// cause naming the exact offending items.
+	if !strings.Contains(err.Error(), "op 2") || !strings.Contains(err.Error(), "tenant 1") {
+		t.Errorf("error does not locate the failure: %v", err)
+	}
+	// Nothing survived: tenants drained, physical NFs removed.
+	if v.Tenants() != 0 {
+		t.Errorf("tenants = %d after rollback, want 0", v.Tenants())
+	}
+	if v.FindPhysical(0, nf.Firewall) != nil || v.FindPhysical(1, nf.Router) != nil {
+		t.Error("physical NFs survived rollback")
+	}
+	if got := v.Pipe.EntriesUsed(); got != baseEntries {
+		t.Errorf("entries = %d after rollback, want %d", got, baseEntries)
+	}
+	// The same switch still accepts a clean batch afterwards.
+	if _, err := c.Batch([]BatchOp{
+		OpInstallPhysical(0, nf.Firewall, 100),
+		OpInstallPhysical(1, nf.Router, 100),
+		OpAllocateAt(wireSFC(1), pls),
+	}); err != nil {
+		t.Fatalf("clean batch after rollback: %v", err)
+	}
+}
+
+func TestBatchDeallocateUndoRestoresTenant(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+	if err := c.InstallPhysical(0, nf.Firewall, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(1, nf.Router, 100); err != nil {
+		t.Fatal(err)
+	}
+	pls := batchPlacements()
+	if _, err := c.AllocateAt(wireSFC(1), pls); err != nil {
+		t.Fatal(err)
+	}
+	before := v.Pipe.EntriesUsed()
+
+	// Deallocate applies, then the duplicate install fails the batch: the
+	// undo must re-install tenant 1 at its original placements.
+	_, err := c.Batch([]BatchOp{
+		OpDeallocate(1),
+		OpInstallPhysical(0, nf.Firewall, 100),
+	})
+	if err == nil {
+		t.Fatal("failing batch reported success")
+	}
+	if v.Allocations(1) == nil {
+		t.Fatal("tenant 1 not restored by rollback")
+	}
+	if got := v.Pipe.EntriesUsed(); got != before {
+		t.Errorf("entries = %d after rollback, want %d", got, before)
+	}
+}
+
+func TestBatchRejectsUnbatchableOps(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+	if _, err := c.Batch(nil); err == nil || !strings.Contains(err.Error(), "no sub-ops") {
+		t.Errorf("empty batch: %v", err)
+	}
+	if _, err := c.Batch([]BatchOp{{Type: MsgPing}}); err == nil || !strings.Contains(err.Error(), "not batchable") {
+		t.Errorf("ping-in-batch: %v", err)
+	}
+	if v.Tenants() != 0 {
+		t.Error("rejected batch touched the switch")
+	}
+}
+
+// batchCountingTarget wraps the concrete VSwitchTarget (keeping its
+// optional batch/rollback interfaces) and counts executed sub-ops.
+type batchCountingTarget struct {
+	*VSwitchTarget
+	mu       sync.Mutex
+	installs int
+	batches  int
+}
+
+func (b *batchCountingTarget) InstallPhysical(stage int, t nf.Type, capacity int) error {
+	b.mu.Lock()
+	b.installs++
+	b.mu.Unlock()
+	return b.VSwitchTarget.InstallPhysical(stage, t, capacity)
+}
+
+func (b *batchCountingTarget) AllocateBatch(items []BatchAllocItem) ([]int, error) {
+	b.mu.Lock()
+	b.batches++
+	b.mu.Unlock()
+	return b.VSwitchTarget.AllocateBatch(items)
+}
+
+// TestBatchDedupReplay is the retry-safety criterion for MsgBatch: a
+// replayed batch (same client, same request ID — the retry after a lost
+// response) is answered from the dedup window without re-executing any
+// sub-op.
+func TestBatchDedupReplay(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	v := vswitch.New(pipeline.New(cfg))
+	ct := &batchCountingTarget{VSwitchTarget: &VSwitchTarget{V: v}}
+	srv := NewServer(ct)
+
+	req := &Request{Type: MsgBatch, Client: 99, ID: 7, Ops: []BatchOp{
+		OpInstallPhysical(0, nf.Firewall, 100),
+		OpInstallPhysical(1, nf.Router, 100),
+		OpAllocateAt(wireSFC(1), batchPlacements()),
+		OpAllocateAt(wireSFC(2), batchPlacements()),
+	}}
+	first := srv.dispatch(req)
+	if !first.OK {
+		t.Fatal(first.Error)
+	}
+	replay := srv.dispatch(req)
+	if !replay.OK {
+		t.Fatalf("replayed batch re-executed and failed: %v", replay.Error)
+	}
+	if len(replay.Results) != len(first.Results) {
+		t.Errorf("replay returned %d results, first %d", len(replay.Results), len(first.Results))
+	}
+	ct.mu.Lock()
+	installs, batches := ct.installs, ct.batches
+	ct.mu.Unlock()
+	if installs != 2 || batches != 1 {
+		t.Errorf("target executed installs=%d batches=%d, want 2 and 1 (no double-apply)", installs, batches)
+	}
+	if v.Tenants() != 2 {
+		t.Errorf("tenants = %d, want 2", v.Tenants())
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	crand "crypto/rand"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,6 +34,10 @@ type ClientOptions struct {
 	BackoffMax  time.Duration
 	// Seed drives the deterministic backoff jitter. Default 1.
 	Seed int64
+	// MaxInFlight bounds how many RPCs (sync and async combined) may be
+	// outstanding at once; excess callers block until a slot frees.
+	// Default 64.
+	MaxInFlight int
 	// Dialer overrides how connections are made (fault injection,
 	// testing). Default net.DialTimeout("tcp", addr, DialTimeout).
 	Dialer func(addr string) (net.Conn, error)
@@ -59,6 +62,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
 	return o
 }
 
@@ -73,19 +79,135 @@ var ErrBroken = errors.New("p4rt: connection broken")
 // the previous call's response to the next one), and retryable RPCs
 // transparently reconnect with bounded exponential backoff. Mutating RPCs
 // are made retry-safe by the server's (client, request-ID) dedup window.
+//
+// Calls are pipelined: a caller writes its frame and parks on a channel
+// while a per-connection reader goroutine matches responses to waiters by
+// the echoed request ID, so many RPCs (from many goroutines, or via
+// Go/Flush from one) share a single connection with their round trips in
+// flight simultaneously. Retry backoff sleeps hold no locks, so one flaky
+// call never stalls unrelated callers.
 type Client struct {
-	addr string
-	opts ClientOptions
-
-	mu       sync.Mutex
-	conn     net.Conn
-	r        *bufio.Reader
-	w        *bufio.Writer
-	broken   bool   // current conn is poisoned; redial before next use
-	closed   bool   // Close was called; no redials
+	addr     string
+	opts     ClientOptions
 	clientID uint64 // random identity for the server dedup window
-	nextID   uint64 // monotonically increasing request ID
-	rng      *rand.Rand
+
+	mu     sync.Mutex // guards cs, closed, nextID
+	cs     *connState
+	closed bool   // Close was called; no redials
+	nextID uint64 // monotonically increasing request ID
+
+	// dialMu serializes (re)dials so a burst of callers hitting a broken
+	// conn produces one new connection, not one each. Never held together
+	// with mu.
+	dialMu sync.Mutex
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// window is the bounded in-flight semaphore (MaxInFlight slots).
+	window chan struct{}
+
+	// bufs pools marshal buffers: one frame assembly per call, reused.
+	bufs sync.Pool
+
+	asyncWG sync.WaitGroup
+	asyncMu sync.Mutex
+	asyncErr error
+}
+
+// callResult is what a reader (or a failure) delivers to a parked caller.
+type callResult struct {
+	resp *Response
+	err  error
+}
+
+// connState is one live connection plus its in-flight bookkeeping. It is
+// owned by the Client but survives independently once poisoned: late
+// readers and timed-out callers resolve against it without racing the
+// Client's replacement connection.
+type connState struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	broken  bool
+	err     error
+}
+
+// enqueue registers a waiter for a request ID. It fails fast when the
+// connection is already poisoned.
+func (cs *connState) enqueue(id uint64) (chan callResult, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.broken {
+		return nil, cs.err
+	}
+	ch := make(chan callResult, 1)
+	cs.pending[id] = ch
+	return ch, nil
+}
+
+// fail poisons the connection and delivers err to every parked caller.
+// Idempotent: the first failure wins. The conn is closed so the reader
+// goroutine (and the server side) unblock.
+func (cs *connState) fail(err error) {
+	cs.mu.Lock()
+	if cs.broken {
+		cs.mu.Unlock()
+		return
+	}
+	cs.broken = true
+	cs.err = err
+	waiters := cs.pending
+	cs.pending = make(map[uint64]chan callResult)
+	cs.mu.Unlock()
+	cs.conn.Close()
+	for _, ch := range waiters {
+		ch <- callResult{err: err}
+	}
+}
+
+// isBroken reports whether the connection is poisoned.
+func (cs *connState) isBroken() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.broken
+}
+
+// readLoop is the per-connection background reader: it decodes response
+// frames and hands each to the caller whose request ID it echoes. An
+// unmatched ID means the stream is desynchronized (a stale or reordered
+// frame): the whole connection is poisoned rather than risk delivering
+// one call's response to another.
+func (cs *connState) readLoop() {
+	r := bufio.NewReader(cs.conn)
+	for {
+		raw, err := readFrame(r)
+		if err != nil {
+			cs.fail(err)
+			return
+		}
+		var resp Response
+		if err := resp.UnmarshalJSON(raw); err != nil {
+			cs.fail(err)
+			return
+		}
+		cs.mu.Lock()
+		ch, ok := cs.pending[resp.ID]
+		if ok {
+			delete(cs.pending, resp.ID)
+		}
+		broken := cs.broken
+		cs.mu.Unlock()
+		if broken {
+			return
+		}
+		if !ok {
+			cs.fail(fmt.Errorf("p4rt: desynchronized stream: unmatched response ID %d", resp.ID))
+			return
+		}
+		ch <- callResult{resp: &resp}
+	}
 }
 
 // Dial connects to a switch daemon with default hardening options.
@@ -102,8 +224,10 @@ func DialOptions(addr string, opts ClientOptions) (*Client, error) {
 		clientID: randomClientID(),
 		nextID:   1,
 		rng:      rand.New(rand.NewSource(opts.Seed)),
+		window:   make(chan struct{}, opts.MaxInFlight),
 	}
-	if err := c.reconnect(); err != nil {
+	c.bufs.New = func() any { b := make([]byte, 0, 1024); return &b }
+	if _, err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -121,24 +245,48 @@ func randomClientID() uint64 {
 	return uint64(time.Now().UnixNano()) | 1
 }
 
-// Close releases the connection. The client cannot be used afterwards.
+// Close releases the connection. The client cannot be used afterwards;
+// outstanding calls fail with ErrBroken.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
+	cs := c.cs
+	c.cs = nil
+	c.mu.Unlock()
+	if cs == nil {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	cs.fail(ErrBroken)
+	return nil
 }
 
-// reconnect (mu held) discards any poisoned connection and dials fresh.
-func (c *Client) reconnect() error {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// connect returns a healthy connection, dialing a fresh one if the
+// current connection is poisoned (or absent). Dials happen under dialMu
+// only — concurrent callers on a healthy conn are never blocked by a
+// redial, and a burst of callers hitting a broken conn share one dial.
+func (c *Client) connect() (*connState, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrBroken
+	}
+	cs := c.cs
+	c.mu.Unlock()
+	if cs != nil && !cs.isBroken() {
+		return cs, nil
+	}
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	// Double-check: another caller may have redialed while we waited.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrBroken
+	}
+	cs = c.cs
+	c.mu.Unlock()
+	if cs != nil && !cs.isBroken() {
+		return cs, nil
 	}
 	var (
 		conn net.Conn
@@ -150,17 +298,24 @@ func (c *Client) reconnect() error {
 		conn, err = net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
-	c.conn = conn
-	c.r = bufio.NewReader(conn)
-	c.w = bufio.NewWriter(conn)
-	c.broken = false
-	return nil
+	ncs := &connState{conn: conn, pending: make(map[uint64]chan callResult)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, ErrBroken
+	}
+	c.cs = ncs
+	c.mu.Unlock()
+	go ncs.readLoop()
+	return ncs, nil
 }
 
-// backoff (mu held) sleeps the bounded-exponential, seeded-jitter delay
-// before retry attempt n (n ≥ 1).
+// backoff sleeps the bounded-exponential, seeded-jitter delay before
+// retry attempt n (n ≥ 1). No client lock is held while sleeping, so a
+// call in its backoff window never stalls other callers.
 func (c *Client) backoff(n int) {
 	d := c.opts.BackoffBase << uint(n-1)
 	if d <= 0 || d > c.opts.BackoffMax {
@@ -169,7 +324,9 @@ func (c *Client) backoff(n int) {
 	// Jitter in [d/2, d]: deterministic under Seed, avoids thundering herds.
 	half := int64(d / 2)
 	if half > 0 {
+		c.rngMu.Lock()
 		d = time.Duration(half + c.rng.Int63n(half+1))
+		c.rngMu.Unlock()
 	}
 	time.Sleep(d)
 }
@@ -182,29 +339,92 @@ func (c *Client) backoff(n int) {
 func retryable(t MsgType) bool {
 	switch t {
 	case MsgPing, MsgLayout, MsgStats,
-		MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate:
+		MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate,
+		MsgBatch:
 		return true
 	}
 	return false
 }
 
-// call performs one synchronous RPC with deadline, desync detection, and
-// (for retryable types) reconnect + retry. Application-level errors from
-// the switch are returned as-is and never retried, except those the
-// server marks Transient (the target did not execute the request).
+// call performs one synchronous RPC under the in-flight window.
 func (c *Client) call(req *Request) (*Response, error) {
+	c.window <- struct{}{}
+	defer func() { <-c.window }()
+	return c.do(req)
+}
+
+// Go issues req asynchronously: it claims an in-flight slot (blocking
+// only when MaxInFlight requests are already outstanding), then runs the
+// full retry/reconnect state machine in a background goroutine, its round
+// trip pipelined with other calls on the shared connection. done, if
+// non-nil, receives the outcome; with a nil done the first error is
+// collected and returned by the next Flush.
+func (c *Client) Go(req *Request, done func(*Response, error)) {
+	c.window <- struct{}{}
+	c.asyncWG.Add(1)
+	go func() {
+		defer c.asyncWG.Done()
+		resp, err := c.do(req)
+		<-c.window
+		if done != nil {
+			done(resp, err)
+			return
+		}
+		if err != nil {
+			c.asyncMu.Lock()
+			if c.asyncErr == nil {
+				c.asyncErr = err
+			}
+			c.asyncMu.Unlock()
+		}
+	}()
+}
+
+// Flush waits for every Go-issued request to complete and returns the
+// first error among those issued without a done callback (then clears it).
+func (c *Client) Flush() error {
+	c.asyncWG.Wait()
+	c.asyncMu.Lock()
+	defer c.asyncMu.Unlock()
+	err := c.asyncErr
+	c.asyncErr = nil
+	return err
+}
+
+// do runs one RPC with deadline, desync detection, and (for retryable
+// types) reconnect + retry. The request ID is assigned once, so every
+// retry replays the same identity into the server's dedup window.
+// Application-level errors from the switch are returned as-is and never
+// retried, except those the server marks Transient (the target did not
+// execute the request).
+func (c *Client) do(req *Request) (*Response, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil, ErrBroken
 	}
 	req.Client = c.clientID
 	req.ID = c.nextID
 	c.nextID++
-	body, err := marshal(req)
-	if err != nil {
-		return nil, err
+	c.mu.Unlock()
+
+	// Assemble the frame once into a pooled buffer: 4-byte length header
+	// placeholder, hand-encoded JSON body (no reflection, no compaction
+	// pass), header patched in place. One buffer, one conn.Write per
+	// attempt — no per-call allocations of the frame and no interleaving
+	// with other pipelined callers' frames.
+	bufp := c.bufs.Get().(*[]byte)
+	frame := append((*bufp)[:0], 0, 0, 0, 0)
+	frame = req.appendJSON(frame)
+	defer func() {
+		*bufp = frame[:0] // keep any growth for the next caller
+		c.bufs.Put(bufp)
+	}()
+	if len(frame)-4 > maxFrame {
+		return nil, fmt.Errorf("p4rt: frame of %d bytes exceeds limit", len(frame)-4)
 	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+
 	attempts := 1
 	if retryable(req.Type) {
 		attempts = c.opts.MaxAttempts
@@ -214,17 +434,17 @@ func (c *Client) call(req *Request) (*Response, error) {
 		if attempt > 1 {
 			c.backoff(attempt - 1)
 		}
-		if c.conn == nil || c.broken {
-			if err := c.reconnect(); err != nil {
-				lastErr = err
-				continue
-			}
-		}
-		resp, err := c.roundTrip(req.ID, body)
+		cs, err := c.connect()
 		if err != nil {
-			// Any mid-frame failure leaves the stream in an unknown
-			// state: poison the connection so it is never reused.
-			c.broken = true
+			if errors.Is(err, ErrBroken) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := c.roundTrip(cs, req.ID, frame)
+		if err != nil {
+			// roundTrip poisoned the connection; the next attempt redials.
 			lastErr = err
 			continue
 		}
@@ -243,31 +463,35 @@ func (c *Client) call(req *Request) (*Response, error) {
 	return nil, fmt.Errorf("p4rt: %s failed after %d attempts: %w", req.Type, attempts, lastErr)
 }
 
-// roundTrip (mu held) writes one framed request and reads its response
-// under the per-call deadline, verifying the echoed request ID.
-func (c *Client) roundTrip(id uint64, body []byte) (*Response, error) {
-	if c.opts.CallTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := writeFrame(c.w, body); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	raw, err := readFrame(c.r)
+// roundTrip writes one framed request and parks until the reader
+// goroutine delivers the matching response or the per-call deadline
+// expires. Any failure — write error, timeout, reader-detected desync —
+// poisons the connection: responses on one conn arrive in order, so a
+// call abandoned mid-stream leaves every later in-flight call behind a
+// frame nobody will consume.
+func (c *Client) roundTrip(cs *connState, id uint64, frame []byte) (*Response, error) {
+	ch, err := cs.enqueue(id)
 	if err != nil {
 		return nil, err
 	}
-	var resp Response
-	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, err
+	if _, err := cs.conn.Write(frame); err != nil {
+		cs.fail(err)
+		// fail delivered the error to ch; fall through to collect it.
 	}
-	if resp.ID != id {
-		return nil, fmt.Errorf("p4rt: desynchronized stream: response ID %d for request %d", resp.ID, id)
+	var timeout <-chan time.Time
+	if c.opts.CallTimeout > 0 {
+		timer := time.NewTimer(c.opts.CallTimeout)
+		defer timer.Stop()
+		timeout = timer.C
 	}
-	return &resp, nil
+	select {
+	case res := <-ch:
+		return res.resp, res.err
+	case <-timeout:
+		cs.fail(fmt.Errorf("p4rt: call timed out after %v", c.opts.CallTimeout))
+		res := <-ch
+		return res.resp, res.err
+	}
 }
 
 // Ping checks liveness.
@@ -308,6 +532,34 @@ func (c *Client) AllocateAt(sfc *vswitch.SFC, placements []vswitch.Placement) (i
 func (c *Client) Deallocate(tenant uint32) error {
 	_, err := c.call(&Request{Type: MsgDeallocate, Tenant: tenant})
 	return err
+}
+
+// Batch executes an ordered list of mutating sub-ops in one frame and one
+// server dispatch, all-or-nothing: on success every sub-op applied and the
+// per-op results are returned; on error none did (the server rolled back).
+// Build ops with OpInstallPhysical/OpAllocate/OpAllocateAt/OpDeallocate.
+func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	resp, err := c.call(&Request{Type: MsgBatch, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// GoBatch is the async form of Batch, pipelined behind Go/Flush. A nil
+// done routes errors to the next Flush, like Go.
+func (c *Client) GoBatch(ops []BatchOp, done func([]BatchResult, error)) {
+	if done == nil {
+		c.Go(&Request{Type: MsgBatch, Ops: ops}, nil)
+		return
+	}
+	c.Go(&Request{Type: MsgBatch, Ops: ops}, func(resp *Response, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(resp.Results, nil)
+	})
 }
 
 // Layout reads the per-stage physical NF names.
@@ -388,6 +640,57 @@ func (t *VSwitchTarget) AllocateAt(spec *SFCSpec, placements []PlacementSpec) (i
 // Deallocate implements Target.
 func (t *VSwitchTarget) Deallocate(tenant uint32) error {
 	return t.V.Deallocate(tenant)
+}
+
+// RemovePhysical implements PhysicalRemover (batch rollback of an
+// install_physical sub-op).
+func (t *VSwitchTarget) RemovePhysical(stage int, typ nf.Type) error {
+	return t.V.RemovePhysicalNF(stage, typ)
+}
+
+// TenantSnapshot implements TenantSnapshotter: capture a live tenant's
+// chain and placements so a batched deallocate can be undone. The restore
+// closure holds the native chain spec and placements directly — no
+// wire-form round trip, since the undo is discarded on batch success.
+func (t *VSwitchTarget) TenantSnapshot(tenant uint32) (func() error, error) {
+	alloc := t.V.Allocations(tenant)
+	if alloc == nil {
+		return nil, fmt.Errorf("p4rt: tenant %d has no allocation to snapshot", tenant)
+	}
+	if alloc.Spec == nil {
+		return nil, fmt.Errorf("p4rt: tenant %d allocation carries no chain spec", tenant)
+	}
+	spec, pls := alloc.Spec, alloc.Placements
+	return func() error {
+		_, err := t.V.AllocateAt(spec, pls)
+		return err
+	}, nil
+}
+
+// AllocateBatch implements BatchAllocator: realize a run of allocate_at
+// sub-ops in one pass over the data plane (vswitch.AllocateBatch).
+func (t *VSwitchTarget) AllocateBatch(items []BatchAllocItem) ([]int, error) {
+	batch := make([]vswitch.BatchItem, len(items))
+	for i, it := range items {
+		sfc, err := it.SFC.ToSFC()
+		if err != nil {
+			return nil, err
+		}
+		pls, err := toPlacements(it.Placements)
+		if err != nil {
+			return nil, err
+		}
+		batch[i] = vswitch.BatchItem{SFC: sfc, Placements: pls}
+	}
+	allocs, err := t.V.AllocateBatch(batch)
+	if err != nil {
+		return nil, err
+	}
+	passes := make([]int, len(allocs))
+	for i, a := range allocs {
+		passes[i] = a.Passes
+	}
+	return passes, nil
 }
 
 // Layout implements Target.

@@ -1,0 +1,1156 @@
+package p4rt
+
+// Hand-rolled wire codecs for the protocol envelope and the hot payload
+// structs. Provisioning frames are JSON-bound on both ends: with
+// reflection-driven encoding/json the scanner pre-pass, field-name
+// matching over many small match/rule objects, and the compaction pass
+// over nested custom marshalers dominate the controller↔switch CPU
+// budget. These codecs keep the frames JSON — readable, debuggable with
+// standard tooling, and decodable by json.Unmarshal — but encode and
+// decode Request/Response (and everything nested in them) without
+// reflection, in one pass. The bulky SFC subtree and placements use
+// compact positional arrays:
+//
+//	SFCSpec       [tenant, bandwidthGbps, [NFSpec...]]
+//	NFSpec        ["type", [RuleSpec...]]
+//	RuleSpec      [priority, [MatchSpec...], "action", [params...]]
+//	MatchSpec     [value, mask, prefixLen, lo, hi]
+//	PlacementSpec [nfIndex, "type", stage, pass]
+//
+// Everything else stays keyed objects with the same field names as the
+// struct tags, zero values omitted, so the envelope remains
+// self-describing and extensible.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// --- encoding ---------------------------------------------------------------
+
+// appendJSONString quotes s, falling back to the stdlib for strings that
+// need escaping (type names and actions are plain identifiers, so the
+// fast path is the norm).
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x7f {
+			q, _ := json.Marshal(s)
+			return append(b, q...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// fieldSep writes the separator before a field: '{' for the first one,
+// ',' after.
+func fieldSep(b []byte, first *bool) []byte {
+	if *first {
+		*first = false
+		return append(b, '{')
+	}
+	return append(b, ',')
+}
+
+func appendKey(b []byte, first *bool, key string) []byte {
+	b = fieldSep(b, first)
+	b = append(b, '"')
+	b = append(b, key...)
+	return append(b, '"', ':')
+}
+
+func appendMatch(b []byte, m *MatchSpec) []byte {
+	b = append(b, '[')
+	b = strconv.AppendUint(b, m.Value, 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, m.Mask, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(m.PrefixLen), 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, m.Lo, 10)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, m.Hi, 10)
+	return append(b, ']')
+}
+
+func appendRule(b []byte, r *RuleSpec) []byte {
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(r.Priority), 10)
+	b = append(b, ',', '[')
+	for i := range r.Matches {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendMatch(b, &r.Matches[i])
+	}
+	b = append(b, ']', ',')
+	b = appendJSONString(b, r.Action)
+	b = append(b, ',', '[')
+	for i, p := range r.Params {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, p, 10)
+	}
+	return append(b, ']', ']')
+}
+
+func appendSFCSpec(b []byte, s *SFCSpec) []byte {
+	b = append(b, '[')
+	b = strconv.AppendUint(b, uint64(s.Tenant), 10)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, s.BandwidthGbps, 'g', -1, 64)
+	b = append(b, ',', '[')
+	for i := range s.NFs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		n := &s.NFs[i]
+		b = append(b, '[')
+		b = appendJSONString(b, n.Type)
+		b = append(b, ',', '[')
+		for j := range n.Rules {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = appendRule(b, &n.Rules[j])
+		}
+		b = append(b, ']', ']')
+	}
+	return append(b, ']', ']')
+}
+
+func appendPlacement(b []byte, p *PlacementSpec) []byte {
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(p.NFIndex), 10)
+	b = append(b, ',')
+	b = appendJSONString(b, p.Type)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Stage), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Pass), 10)
+	return append(b, ']')
+}
+
+func appendPlacements(b []byte, pls []PlacementSpec) []byte {
+	b = append(b, '[')
+	for i := range pls {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendPlacement(b, &pls[i])
+	}
+	return append(b, ']')
+}
+
+func appendBatchOp(b []byte, op *BatchOp) []byte {
+	first := true
+	b = appendKey(b, &first, "type")
+	b = appendJSONString(b, string(op.Type))
+	if op.Stage != 0 {
+		b = appendKey(b, &first, "stage")
+		b = strconv.AppendInt(b, int64(op.Stage), 10)
+	}
+	if op.NFType != "" {
+		b = appendKey(b, &first, "nf_type")
+		b = appendJSONString(b, op.NFType)
+	}
+	if op.Capacity != 0 {
+		b = appendKey(b, &first, "capacity")
+		b = strconv.AppendInt(b, int64(op.Capacity), 10)
+	}
+	if op.SFC != nil {
+		b = appendKey(b, &first, "sfc")
+		b = appendSFCSpec(b, op.SFC)
+	}
+	if op.Tenant != 0 {
+		b = appendKey(b, &first, "tenant")
+		b = strconv.AppendUint(b, uint64(op.Tenant), 10)
+	}
+	if len(op.Placements) != 0 {
+		b = appendKey(b, &first, "placements")
+		b = appendPlacements(b, op.Placements)
+	}
+	return append(b, '}')
+}
+
+// appendJSON serializes the request without reflection. It is the wire
+// encoder: the client writes its output directly into the frame buffer.
+func (r *Request) appendJSON(b []byte) []byte {
+	first := true
+	b = appendKey(b, &first, "type")
+	b = appendJSONString(b, string(r.Type))
+	if r.ID != 0 {
+		b = appendKey(b, &first, "id")
+		b = strconv.AppendUint(b, r.ID, 10)
+	}
+	if r.Client != 0 {
+		b = appendKey(b, &first, "client")
+		b = strconv.AppendUint(b, r.Client, 10)
+	}
+	if r.Stage != 0 {
+		b = appendKey(b, &first, "stage")
+		b = strconv.AppendInt(b, int64(r.Stage), 10)
+	}
+	if r.NFType != "" {
+		b = appendKey(b, &first, "nf_type")
+		b = appendJSONString(b, r.NFType)
+	}
+	if r.Capacity != 0 {
+		b = appendKey(b, &first, "capacity")
+		b = strconv.AppendInt(b, int64(r.Capacity), 10)
+	}
+	if r.SFC != nil {
+		b = appendKey(b, &first, "sfc")
+		b = appendSFCSpec(b, r.SFC)
+	}
+	if r.Tenant != 0 {
+		b = appendKey(b, &first, "tenant")
+		b = strconv.AppendUint(b, uint64(r.Tenant), 10)
+	}
+	if len(r.Placements) != 0 {
+		b = appendKey(b, &first, "placements")
+		b = appendPlacements(b, r.Placements)
+	}
+	if len(r.Wire) != 0 {
+		b = appendKey(b, &first, "wire")
+		b = append(b, '"')
+		b = base64.StdEncoding.AppendEncode(b, r.Wire)
+		b = append(b, '"')
+	}
+	if r.NowNs != 0 {
+		b = appendKey(b, &first, "now_ns")
+		b = strconv.AppendFloat(b, r.NowNs, 'g', -1, 64)
+	}
+	if len(r.Ops) != 0 {
+		b = appendKey(b, &first, "ops")
+		b = append(b, '[')
+		for i := range r.Ops {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendBatchOp(b, &r.Ops[i])
+		}
+		b = append(b, ']')
+	}
+	if first {
+		b = append(b, '{')
+	}
+	return append(b, '}')
+}
+
+func appendBatchResult(b []byte, r *BatchResult) []byte {
+	first := true
+	b = appendKey(b, &first, "ok")
+	b = strconv.AppendBool(b, r.OK)
+	if r.Error != "" {
+		b = appendKey(b, &first, "error")
+		b = appendJSONString(b, r.Error)
+	}
+	if len(r.Placements) != 0 {
+		b = appendKey(b, &first, "placements")
+		b = appendPlacements(b, r.Placements)
+	}
+	if r.Passes != 0 {
+		b = appendKey(b, &first, "passes")
+		b = strconv.AppendInt(b, int64(r.Passes), 10)
+	}
+	return append(b, '}')
+}
+
+// appendJSON serializes the response without reflection (server wire
+// encoder).
+func (r *Response) appendJSON(b []byte) []byte {
+	first := true
+	b = appendKey(b, &first, "ok")
+	b = strconv.AppendBool(b, r.OK)
+	if r.Error != "" {
+		b = appendKey(b, &first, "error")
+		b = appendJSONString(b, r.Error)
+	}
+	if r.ID != 0 {
+		b = appendKey(b, &first, "id")
+		b = strconv.AppendUint(b, r.ID, 10)
+	}
+	if r.Transient {
+		b = appendKey(b, &first, "transient")
+		b = strconv.AppendBool(b, true)
+	}
+	if len(r.Placements) != 0 {
+		b = appendKey(b, &first, "placements")
+		b = appendPlacements(b, r.Placements)
+	}
+	if r.Passes != 0 {
+		b = appendKey(b, &first, "passes")
+		b = strconv.AppendInt(b, int64(r.Passes), 10)
+	}
+	if len(r.Layout) != 0 {
+		b = appendKey(b, &first, "layout")
+		b = append(b, '[')
+		for i, stage := range r.Layout {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '[')
+			for j, name := range stage {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = appendJSONString(b, name)
+			}
+			b = append(b, ']')
+		}
+		b = append(b, ']')
+	}
+	if st := r.Stats; st != nil {
+		b = appendKey(b, &first, "stats")
+		b = append(b, `{"stages":`...)
+		b = strconv.AppendInt(b, int64(st.Stages), 10)
+		b = append(b, `,"blocks_used":`...)
+		b = strconv.AppendInt(b, int64(st.BlocksUsed), 10)
+		b = append(b, `,"entries_used":`...)
+		b = strconv.AppendInt(b, int64(st.EntriesUsed), 10)
+		b = append(b, `,"bandwidth_gbps":`...)
+		b = strconv.AppendFloat(b, st.BandwidthGbps, 'g', -1, 64)
+		b = append(b, `,"tenants":`...)
+		b = strconv.AppendInt(b, int64(st.Tenants), 10)
+		b = append(b, `,"processed":`...)
+		b = strconv.AppendUint(b, st.Processed, 10)
+		b = append(b, `,"recirculated":`...)
+		b = strconv.AppendUint(b, st.Recirculated, 10)
+		b = append(b, '}')
+	}
+	if in := r.Inject; in != nil {
+		b = appendKey(b, &first, "inject")
+		b = append(b, `{"latency_ns":`...)
+		b = strconv.AppendFloat(b, in.LatencyNs, 'g', -1, 64)
+		b = append(b, `,"passes":`...)
+		b = strconv.AppendInt(b, int64(in.Passes), 10)
+		b = append(b, `,"dropped":`...)
+		b = strconv.AppendBool(b, in.Dropped)
+		b = append(b, `,"egress_port":`...)
+		b = strconv.AppendUint(b, uint64(in.EgressPort), 10)
+		b = append(b, `,"tables_applied":`...)
+		b = strconv.AppendInt(b, int64(in.TablesApplied), 10)
+		if len(in.Wire) != 0 {
+			b = append(b, `,"wire":"`...)
+			b = base64.StdEncoding.AppendEncode(b, in.Wire)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	if len(r.Results) != 0 {
+		b = appendKey(b, &first, "results")
+		b = append(b, '[')
+		for i := range r.Results {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendBatchResult(b, &r.Results[i])
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// MarshalJSON keeps Request compatible with encoding/json callers.
+func (r *Request) MarshalJSON() ([]byte, error) { return r.appendJSON(nil), nil }
+
+// MarshalJSON keeps Response compatible with encoding/json callers.
+func (r *Response) MarshalJSON() ([]byte, error) { return r.appendJSON(nil), nil }
+
+// MarshalJSON implements json.Marshaler with the compact array form.
+func (s *SFCSpec) MarshalJSON() ([]byte, error) { return appendSFCSpec(nil, s), nil }
+
+// MarshalJSON implements json.Marshaler with the compact array form.
+func (p PlacementSpec) MarshalJSON() ([]byte, error) { return appendPlacement(nil, &p), nil }
+
+// --- decoding ---------------------------------------------------------------
+
+// jscan is a minimal cursor over one JSON value's raw bytes.
+type jscan struct {
+	b []byte
+	i int
+}
+
+func (p *jscan) ws() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jscan) expect(c byte) error {
+	p.ws()
+	if p.i >= len(p.b) || p.b[p.i] != c {
+		return fmt.Errorf("p4rt: wire: expected %q at offset %d", c, p.i)
+	}
+	p.i++
+	return nil
+}
+
+// sep reports whether an array or object continues (','), consuming the
+// separator, or ends (the close byte), consuming it.
+func (p *jscan) sep(close byte) (more bool, err error) {
+	p.ws()
+	if p.i >= len(p.b) {
+		return false, fmt.Errorf("p4rt: wire: unterminated value")
+	}
+	switch p.b[p.i] {
+	case ',':
+		p.i++
+		return true, nil
+	case close:
+		p.i++
+		return false, nil
+	}
+	return false, fmt.Errorf("p4rt: wire: expected ',' or %q at offset %d", close, p.i)
+}
+
+// numTok scans one JSON number token.
+func (p *jscan) numTok() ([]byte, error) {
+	p.ws()
+	start := p.i
+scan:
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			p.i++
+		default:
+			break scan
+		}
+	}
+	if p.i == start {
+		return nil, fmt.Errorf("p4rt: wire: expected number at offset %d", start)
+	}
+	return p.b[start:p.i], nil
+}
+
+func (p *jscan) uint() (uint64, error) {
+	tok, err := p.numTok()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(string(tok), 10, 64)
+}
+
+func (p *jscan) int() (int, error) {
+	tok, err := p.numTok()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(string(tok), 10, 64)
+	return int(v), err
+}
+
+func (p *jscan) float() (float64, error) {
+	tok, err := p.numTok()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(string(tok), 64)
+}
+
+func (p *jscan) bool() (bool, error) {
+	p.ws()
+	if bytes.HasPrefix(p.b[p.i:], []byte("true")) {
+		p.i += 4
+		return true, nil
+	}
+	if bytes.HasPrefix(p.b[p.i:], []byte("false")) {
+		p.i += 5
+		return false, nil
+	}
+	return false, fmt.Errorf("p4rt: wire: expected bool at offset %d", p.i)
+}
+
+// null consumes a JSON null if present.
+func (p *jscan) null() bool {
+	p.ws()
+	if bytes.HasPrefix(p.b[p.i:], []byte("null")) {
+		p.i += 4
+		return true
+	}
+	return false
+}
+
+func (p *jscan) str() (string, error) {
+	p.ws()
+	if p.i >= len(p.b) || p.b[p.i] != '"' {
+		return "", fmt.Errorf("p4rt: wire: expected string at offset %d", p.i)
+	}
+	// Fast path: no escapes.
+	for j := p.i + 1; j < len(p.b); j++ {
+		switch p.b[j] {
+		case '\\':
+			// Escaped string: delegate to the stdlib for the full value.
+			var s string
+			dec := json.NewDecoder(bytes.NewReader(p.b[p.i:]))
+			if err := dec.Decode(&s); err != nil {
+				return "", err
+			}
+			p.i += int(dec.InputOffset())
+			return s, nil
+		case '"':
+			s := string(p.b[p.i+1 : j])
+			p.i = j + 1
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("p4rt: wire: unterminated string at offset %d", p.i)
+}
+
+// skipValue consumes any JSON value (unknown envelope fields).
+func (p *jscan) skipValue() error {
+	p.ws()
+	if p.i >= len(p.b) {
+		return fmt.Errorf("p4rt: wire: missing value")
+	}
+	switch p.b[p.i] {
+	case '"':
+		_, err := p.str()
+		return err
+	case '{':
+		p.i++
+		p.ws()
+		if p.i < len(p.b) && p.b[p.i] == '}' {
+			p.i++
+			return nil
+		}
+		for {
+			if _, err := p.str(); err != nil {
+				return err
+			}
+			if err := p.expect(':'); err != nil {
+				return err
+			}
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+			more, err := p.sep('}')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	case '[':
+		p.i++
+		p.ws()
+		if p.i < len(p.b) && p.b[p.i] == ']' {
+			p.i++
+			return nil
+		}
+		for {
+			if err := p.skipValue(); err != nil {
+				return err
+			}
+			more, err := p.sep(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	case 't', 'f':
+		_, err := p.bool()
+		return err
+	case 'n':
+		if p.null() {
+			return nil
+		}
+		return fmt.Errorf("p4rt: wire: bad literal at offset %d", p.i)
+	default:
+		_, err := p.numTok()
+		return err
+	}
+}
+
+// object walks an object's key/value pairs, handing each value to field.
+func (p *jscan) object(field func(key string) error) error {
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == '}' {
+		p.i++
+		return nil
+	}
+	for {
+		key, err := p.str()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(':'); err != nil {
+			return err
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+		more, err := p.sep('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (p *jscan) base64() ([]byte, error) {
+	s, err := p.str()
+	if err != nil {
+		return nil, err
+	}
+	if s == "" {
+		return nil, nil
+	}
+	return base64.StdEncoding.DecodeString(s)
+}
+
+func (p *jscan) match(m *MatchSpec) error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	var err error
+	if m.Value, err = p.uint(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if m.Mask, err = p.uint(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if m.PrefixLen, err = p.int(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if m.Lo, err = p.uint(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if m.Hi, err = p.uint(); err != nil {
+		return err
+	}
+	return p.expect(']')
+}
+
+func (p *jscan) rule(r *RuleSpec) error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	var err error
+	if r.Priority, err = p.int(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if err = p.expect('['); err != nil {
+		return err
+	}
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == ']' {
+		p.i++
+	} else {
+		for {
+			var m MatchSpec
+			if err = p.match(&m); err != nil {
+				return err
+			}
+			r.Matches = append(r.Matches, m)
+			more, err := p.sep(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if r.Action, err = p.str(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if err = p.expect('['); err != nil {
+		return err
+	}
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == ']' {
+		p.i++
+	} else {
+		for {
+			v, err := p.uint()
+			if err != nil {
+				return err
+			}
+			r.Params = append(r.Params, v)
+			more, err := p.sep(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	return p.expect(']')
+}
+
+func (p *jscan) sfcSpec(s *SFCSpec) error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	tenant, err := p.uint()
+	if err != nil {
+		return err
+	}
+	s.Tenant = uint32(tenant)
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if s.BandwidthGbps, err = p.float(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if err = p.expect('['); err != nil {
+		return err
+	}
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == ']' {
+		p.i++
+	} else {
+		for {
+			var n NFSpec
+			if err = p.expect('['); err != nil {
+				return err
+			}
+			if n.Type, err = p.str(); err != nil {
+				return err
+			}
+			if err = p.expect(','); err != nil {
+				return err
+			}
+			if err = p.expect('['); err != nil {
+				return err
+			}
+			p.ws()
+			if p.i < len(p.b) && p.b[p.i] == ']' {
+				p.i++
+			} else {
+				for {
+					var r RuleSpec
+					if err = p.rule(&r); err != nil {
+						return err
+					}
+					n.Rules = append(n.Rules, r)
+					more, err := p.sep(']')
+					if err != nil {
+						return err
+					}
+					if !more {
+						break
+					}
+				}
+			}
+			if err = p.expect(']'); err != nil {
+				return err
+			}
+			s.NFs = append(s.NFs, n)
+			more, err := p.sep(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	return p.expect(']')
+}
+
+func (p *jscan) placement(pl *PlacementSpec) error {
+	if err := p.expect('['); err != nil {
+		return err
+	}
+	var err error
+	if pl.NFIndex, err = p.int(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if pl.Type, err = p.str(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if pl.Stage, err = p.int(); err != nil {
+		return err
+	}
+	if err = p.expect(','); err != nil {
+		return err
+	}
+	if pl.Pass, err = p.int(); err != nil {
+		return err
+	}
+	return p.expect(']')
+}
+
+func (p *jscan) placements() ([]PlacementSpec, error) {
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.i < len(p.b) && p.b[p.i] == ']' {
+		p.i++
+		return nil, nil
+	}
+	var out []PlacementSpec
+	for {
+		var pl PlacementSpec
+		if err := p.placement(&pl); err != nil {
+			return nil, err
+		}
+		out = append(out, pl)
+		more, err := p.sep(']')
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			return out, nil
+		}
+	}
+}
+
+func (p *jscan) batchOp(op *BatchOp) error {
+	return p.object(func(key string) error {
+		var err error
+		switch key {
+		case "type":
+			s, err := p.str()
+			op.Type = MsgType(s)
+			return err
+		case "stage":
+			op.Stage, err = p.int()
+			return err
+		case "nf_type":
+			op.NFType, err = p.str()
+			return err
+		case "capacity":
+			op.Capacity, err = p.int()
+			return err
+		case "sfc":
+			if p.null() {
+				return nil
+			}
+			op.SFC = &SFCSpec{}
+			return p.sfcSpec(op.SFC)
+		case "tenant":
+			v, err := p.uint()
+			op.Tenant = uint32(v)
+			return err
+		case "placements":
+			op.Placements, err = p.placements()
+			return err
+		}
+		return p.skipValue()
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler without reflection (server
+// wire decoder).
+func (r *Request) UnmarshalJSON(b []byte) error {
+	*r = Request{}
+	p := &jscan{b: b}
+	return p.object(func(key string) error {
+		var err error
+		switch key {
+		case "type":
+			s, err := p.str()
+			r.Type = MsgType(s)
+			return err
+		case "id":
+			r.ID, err = p.uint()
+			return err
+		case "client":
+			r.Client, err = p.uint()
+			return err
+		case "stage":
+			r.Stage, err = p.int()
+			return err
+		case "nf_type":
+			r.NFType, err = p.str()
+			return err
+		case "capacity":
+			r.Capacity, err = p.int()
+			return err
+		case "sfc":
+			if p.null() {
+				return nil
+			}
+			r.SFC = &SFCSpec{}
+			return p.sfcSpec(r.SFC)
+		case "tenant":
+			v, err := p.uint()
+			r.Tenant = uint32(v)
+			return err
+		case "placements":
+			r.Placements, err = p.placements()
+			return err
+		case "wire":
+			r.Wire, err = p.base64()
+			return err
+		case "now_ns":
+			r.NowNs, err = p.float()
+			return err
+		case "ops":
+			if err := p.expect('['); err != nil {
+				return err
+			}
+			p.ws()
+			if p.i < len(p.b) && p.b[p.i] == ']' {
+				p.i++
+				return nil
+			}
+			for {
+				var op BatchOp
+				if err := p.batchOp(&op); err != nil {
+					return err
+				}
+				r.Ops = append(r.Ops, op)
+				more, err := p.sep(']')
+				if err != nil {
+					return err
+				}
+				if !more {
+					return nil
+				}
+			}
+		}
+		return p.skipValue()
+	})
+}
+
+func (p *jscan) batchResult(r *BatchResult) error {
+	return p.object(func(key string) error {
+		var err error
+		switch key {
+		case "ok":
+			r.OK, err = p.bool()
+			return err
+		case "error":
+			r.Error, err = p.str()
+			return err
+		case "placements":
+			r.Placements, err = p.placements()
+			return err
+		case "passes":
+			r.Passes, err = p.int()
+			return err
+		}
+		return p.skipValue()
+	})
+}
+
+func (p *jscan) stats(st *Stats) error {
+	return p.object(func(key string) error {
+		var err error
+		switch key {
+		case "stages":
+			st.Stages, err = p.int()
+		case "blocks_used":
+			st.BlocksUsed, err = p.int()
+		case "entries_used":
+			st.EntriesUsed, err = p.int()
+		case "bandwidth_gbps":
+			st.BandwidthGbps, err = p.float()
+		case "tenants":
+			st.Tenants, err = p.int()
+		case "processed":
+			st.Processed, err = p.uint()
+		case "recirculated":
+			st.Recirculated, err = p.uint()
+		default:
+			err = p.skipValue()
+		}
+		return err
+	})
+}
+
+func (p *jscan) inject(in *InjectResult) error {
+	return p.object(func(key string) error {
+		var err error
+		switch key {
+		case "latency_ns":
+			in.LatencyNs, err = p.float()
+		case "passes":
+			in.Passes, err = p.int()
+		case "dropped":
+			in.Dropped, err = p.bool()
+		case "egress_port":
+			v, verr := p.uint()
+			in.EgressPort = uint16(v)
+			err = verr
+		case "tables_applied":
+			in.TablesApplied, err = p.int()
+		case "wire":
+			in.Wire, err = p.base64()
+		default:
+			err = p.skipValue()
+		}
+		return err
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler without reflection (client
+// wire decoder).
+func (r *Response) UnmarshalJSON(b []byte) error {
+	*r = Response{}
+	p := &jscan{b: b}
+	return p.object(func(key string) error {
+		var err error
+		switch key {
+		case "ok":
+			r.OK, err = p.bool()
+			return err
+		case "error":
+			r.Error, err = p.str()
+			return err
+		case "id":
+			r.ID, err = p.uint()
+			return err
+		case "transient":
+			r.Transient, err = p.bool()
+			return err
+		case "placements":
+			r.Placements, err = p.placements()
+			return err
+		case "passes":
+			r.Passes, err = p.int()
+			return err
+		case "layout":
+			if err := p.expect('['); err != nil {
+				return err
+			}
+			p.ws()
+			if p.i < len(p.b) && p.b[p.i] == ']' {
+				p.i++
+				return nil
+			}
+			for {
+				if err := p.expect('['); err != nil {
+					return err
+				}
+				stage := []string{} // empty stages stay non-nil, like stdlib
+				p.ws()
+				if p.i < len(p.b) && p.b[p.i] == ']' {
+					p.i++
+				} else {
+					for {
+						s, err := p.str()
+						if err != nil {
+							return err
+						}
+						stage = append(stage, s)
+						more, err := p.sep(']')
+						if err != nil {
+							return err
+						}
+						if !more {
+							break
+						}
+					}
+				}
+				r.Layout = append(r.Layout, stage)
+				more, err := p.sep(']')
+				if err != nil {
+					return err
+				}
+				if !more {
+					return nil
+				}
+			}
+		case "stats":
+			if p.null() {
+				return nil
+			}
+			r.Stats = &Stats{}
+			return p.stats(r.Stats)
+		case "inject":
+			if p.null() {
+				return nil
+			}
+			r.Inject = &InjectResult{}
+			return p.inject(r.Inject)
+		case "results":
+			if err := p.expect('['); err != nil {
+				return err
+			}
+			p.ws()
+			if p.i < len(p.b) && p.b[p.i] == ']' {
+				p.i++
+				return nil
+			}
+			for {
+				var res BatchResult
+				if err := p.batchResult(&res); err != nil {
+					return err
+				}
+				r.Results = append(r.Results, res)
+				more, err := p.sep(']')
+				if err != nil {
+					return err
+				}
+				if !more {
+					return nil
+				}
+			}
+		}
+		return p.skipValue()
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the compact array form.
+func (s *SFCSpec) UnmarshalJSON(b []byte) error {
+	*s = SFCSpec{}
+	p := &jscan{b: b}
+	if err := p.sfcSpec(s); err != nil {
+		return err
+	}
+	p.ws()
+	return nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the compact array form.
+func (pl *PlacementSpec) UnmarshalJSON(b []byte) error {
+	*pl = PlacementSpec{}
+	p := &jscan{b: b}
+	return p.placement(pl)
+}

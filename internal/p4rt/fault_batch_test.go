@@ -1,0 +1,181 @@
+package p4rt_test
+
+// Batch RPCs under fault injection: a MsgBatch must be atomic against
+// connection resets (server left fully applied or fully rolled back,
+// never half-configured), and a retried batch must hit the dedup window
+// instead of double-applying.
+
+import (
+	"sync"
+	"testing"
+
+	"sfp/internal/faultnet"
+	"sfp/internal/nf"
+	"sfp/internal/p4rt"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// batchTally wraps the concrete VSwitchTarget — keeping its rollback and
+// batch-apply extensions visible to the server — and counts executions.
+type batchTally struct {
+	*p4rt.VSwitchTarget
+	mu       sync.Mutex
+	installs int
+	allocs   int // single AllocateAt + batched items combined
+}
+
+func (b *batchTally) InstallPhysical(stage int, t nf.Type, capacity int) error {
+	b.mu.Lock()
+	b.installs++
+	b.mu.Unlock()
+	return b.VSwitchTarget.InstallPhysical(stage, t, capacity)
+}
+
+func (b *batchTally) AllocateAt(sfc *p4rt.SFCSpec, pls []p4rt.PlacementSpec) (int, error) {
+	b.mu.Lock()
+	b.allocs++
+	b.mu.Unlock()
+	return b.VSwitchTarget.AllocateAt(sfc, pls)
+}
+
+func (b *batchTally) AllocateBatch(items []p4rt.BatchAllocItem) ([]int, error) {
+	b.mu.Lock()
+	b.allocs += len(items)
+	b.mu.Unlock()
+	return b.VSwitchTarget.AllocateBatch(items)
+}
+
+func (b *batchTally) counts() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.installs, b.allocs
+}
+
+func provisionBatch() []p4rt.BatchOp {
+	return []p4rt.BatchOp{
+		p4rt.OpInstallPhysical(0, nf.Firewall, 200),
+		p4rt.OpInstallPhysical(1, nf.Router, 200),
+		p4rt.OpAllocateAt(chainSFC(1), chainPlacements()),
+		p4rt.OpAllocateAt(chainSFC(2), chainPlacements()),
+	}
+}
+
+// TestRetriedBatchExactlyOnce: the server applies the whole batch, the
+// connection dies before the response arrives, the client retries — and
+// the dedup window replays the cached response instead of re-executing.
+func TestRetriedBatchExactlyOnce(t *testing.T) {
+	// The batch is the connection's only request, so response write 0 is
+	// its (buffered, single-flush) answer; truncating it loses the
+	// response after the target executed.
+	sched := faultnet.NewSchedule(faultnet.Fault{
+		Conn: 0, Op: faultnet.OpWrite, Index: 0, Kind: faultnet.Truncate, Bytes: 3,
+	})
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	tally := &batchTally{VSwitchTarget: &p4rt.VSwitchTarget{V: v}}
+	addr := startFaultySwitch(t, tally, sched)
+	c := hardenedClient(t, addr, nil)
+
+	results, err := c.Batch(provisionBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	installs, allocs := tally.counts()
+	if installs != 2 || allocs != 2 {
+		t.Errorf("target executed installs=%d allocs=%d, want 2 and 2 (no double-apply)", installs, allocs)
+	}
+	if v.Tenants() != 2 {
+		t.Errorf("tenants = %d, want 2", v.Tenants())
+	}
+}
+
+// TestBatchClientResetNeverHalfApplied: the client's request frame is cut
+// mid-write. The server never sees a complete frame, so nothing applies;
+// the retry delivers the batch once.
+func TestBatchClientResetNeverHalfApplied(t *testing.T) {
+	dialSched := faultnet.NewSchedule(faultnet.Fault{
+		Conn: 0, Op: faultnet.OpWrite, Index: 0, Kind: faultnet.Truncate, Bytes: 40,
+	})
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	tally := &batchTally{VSwitchTarget: &p4rt.VSwitchTarget{V: v}}
+	addr := startFaultySwitch(t, tally, nil)
+	c := hardenedClient(t, addr, dialSched)
+
+	if _, err := c.Batch(provisionBatch()); err != nil {
+		t.Fatal(err)
+	}
+	installs, allocs := tally.counts()
+	if installs != 2 || allocs != 2 {
+		t.Errorf("target executed installs=%d allocs=%d, want 2 and 2", installs, allocs)
+	}
+	if v.Tenants() != 2 {
+		t.Errorf("tenants = %d, want 2", v.Tenants())
+	}
+}
+
+// TestBatchMidFaultRollsBackThenRetrySucceeds: a transient target fault
+// inside the batch fails it after earlier sub-ops applied. The server
+// must roll those back (leaving no half-configured switch), report the
+// failure Transient, and the client's retry then applies the whole batch.
+func TestBatchMidFaultRollsBackThenRetrySucceeds(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	inner := &p4rt.VSwitchTarget{V: v}
+	// FlakyTarget does not implement the batch-apply extension, so every
+	// sub-op is individually gated: fallible call 3 is the second
+	// allocate_at — ops 0-2 have applied when it fails. The rollback's
+	// Deallocate (call 4) is allowed through; the retry is calls 5-8.
+	flaky := faultnet.NewFlakyTarget(inner, 3)
+	addr := startFaultySwitch(t, flaky, nil)
+	c := hardenedClient(t, addr, nil)
+
+	results, err := c.Batch(provisionBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	if v.Tenants() != 2 {
+		t.Errorf("tenants = %d, want 2", v.Tenants())
+	}
+	if flaky.Calls() != 9 {
+		t.Errorf("fallible calls = %d, want 9 (4 + 1 rollback + 4 retry)", flaky.Calls())
+	}
+	// Both tenants drain cleanly — the first attempt left no residue.
+	for _, tenant := range []uint32{1, 2} {
+		if err := c.Deallocate(tenant); err != nil {
+			t.Errorf("deallocate %d: %v", tenant, err)
+		}
+	}
+	if v.Tenants() != 0 || v.BandwidthUsed() != 0 {
+		t.Errorf("residue after drain: %d tenants, %v Gbps", v.Tenants(), v.BandwidthUsed())
+	}
+}
+
+// TestBatchNonTransientFaultFullyRolledBack: a hard (non-retryable)
+// failure mid-batch leaves the switch exactly as before the batch.
+func TestBatchNonTransientFaultFullyRolledBack(t *testing.T) {
+	v := vswitch.New(pipeline.New(pipeline.DefaultConfig()))
+	addr := startFaultySwitch(t, &p4rt.VSwitchTarget{V: v}, nil)
+	c := hardenedClient(t, addr, nil)
+
+	base := v.Pipe.EntriesUsed()
+	ops := provisionBatch()
+	// Append a hard failure: tenant 1 allocated twice.
+	ops = append(ops, p4rt.OpAllocateAt(chainSFC(1), chainPlacements()))
+	if _, err := c.Batch(ops); err == nil {
+		t.Fatal("failing batch reported success")
+	}
+	if v.Tenants() != 0 {
+		t.Errorf("tenants = %d after rollback, want 0", v.Tenants())
+	}
+	if v.FindPhysical(0, nf.Firewall) != nil || v.FindPhysical(1, nf.Router) != nil {
+		t.Error("physical NFs survived rollback")
+	}
+	if got := v.Pipe.EntriesUsed(); got != base {
+		t.Errorf("entries = %d after rollback, want %d", got, base)
+	}
+}

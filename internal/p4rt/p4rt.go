@@ -2,8 +2,10 @@
 // JSON-over-TCP stand-in for P4Runtime. The switch side (Server) fronts a
 // vswitch.VSwitch; the controller side (Client) installs physical NFs,
 // allocates and deallocates tenant SFCs, and reads resource counters. The
-// protocol is length-delimited JSON frames over a single TCP connection,
-// one outstanding request at a time per connection (clients may open many).
+// protocol is length-delimited JSON frames over a single TCP connection;
+// requests are pipelined (many in flight per connection, matched to their
+// responses by an echoed request ID) and may be batched (MsgBatch carries
+// an ordered list of mutating sub-ops executed all-or-nothing).
 package p4rt
 
 import (
@@ -35,6 +37,10 @@ const (
 	MsgStats           MsgType = "stats"
 	MsgPing            MsgType = "ping"
 	MsgInject          MsgType = "inject"
+	// MsgBatch carries an ordered list of mutating sub-ops executed
+	// server-side under one dispatch-lock acquisition with all-or-nothing
+	// semantics (see Server.executeBatch).
+	MsgBatch MsgType = "batch"
 )
 
 // Request is one controller→switch message.
@@ -60,6 +66,53 @@ type Request struct {
 	// pipeline, and reports the outcome) plus the simulated timestamp.
 	Wire  []byte  `json:"wire,omitempty"`
 	NowNs float64 `json:"now_ns,omitempty"`
+	// Batch: the ordered sub-operations of a MsgBatch request.
+	Ops []BatchOp `json:"ops,omitempty"`
+}
+
+// BatchOp is one sub-operation of a MsgBatch request. Type must be one of
+// the mutating RPCs (install_physical, allocate, allocate_at, deallocate);
+// the populated fields mirror the stand-alone Request for that type.
+type BatchOp struct {
+	Type       MsgType         `json:"type"`
+	Stage      int             `json:"stage,omitempty"`
+	NFType     string          `json:"nf_type,omitempty"`
+	Capacity   int             `json:"capacity,omitempty"`
+	SFC        *SFCSpec        `json:"sfc,omitempty"`
+	Tenant     uint32          `json:"tenant,omitempty"`
+	Placements []PlacementSpec `json:"placements,omitempty"`
+}
+
+// BatchResult is one sub-op's outcome within a successful batch response.
+// Placements is populated only for allocate sub-ops (switch-side folding,
+// where the caller does not know the landing spots); allocate_at results
+// omit it — the caller supplied the placements, echoing them back would
+// just bloat the response frame.
+type BatchResult struct {
+	OK         bool            `json:"ok"`
+	Error      string          `json:"error,omitempty"`
+	Placements []PlacementSpec `json:"placements,omitempty"`
+	Passes     int             `json:"passes,omitempty"`
+}
+
+// OpInstallPhysical builds an install_physical sub-op.
+func OpInstallPhysical(stage int, t nf.Type, capacity int) BatchOp {
+	return BatchOp{Type: MsgInstallPhysical, Stage: stage, NFType: t.String(), Capacity: capacity}
+}
+
+// OpAllocate builds an allocate (switch-side folding) sub-op.
+func OpAllocate(sfc *vswitch.SFC) BatchOp {
+	return BatchOp{Type: MsgAllocate, SFC: FromSFC(sfc)}
+}
+
+// OpAllocateAt builds an allocate_at sub-op with explicit placements.
+func OpAllocateAt(sfc *vswitch.SFC, placements []vswitch.Placement) BatchOp {
+	return BatchOp{Type: MsgAllocateAt, SFC: FromSFC(sfc), Placements: fromPlacements(placements)}
+}
+
+// OpDeallocate builds a deallocate sub-op.
+func OpDeallocate(tenant uint32) BatchOp {
+	return BatchOp{Type: MsgDeallocate, Tenant: tenant}
 }
 
 // Response is one switch→controller message.
@@ -81,6 +134,9 @@ type Response struct {
 	Stats *Stats `json:"stats,omitempty"`
 	// Inject: processing outcome and the egress packet bytes.
 	Inject *InjectResult `json:"inject,omitempty"`
+	// Batch: per-sub-op outcomes, one per Request.Ops entry, present only
+	// when the whole batch applied (OK). On failure nothing was applied.
+	Results []BatchResult `json:"results,omitempty"`
 }
 
 // InjectResult reports what the pipeline did to an injected packet.
@@ -146,12 +202,13 @@ type Stats struct {
 // ToSFC converts the wire SFC to the vswitch form.
 func (s *SFCSpec) ToSFC() (*vswitch.SFC, error) {
 	out := &vswitch.SFC{Tenant: s.Tenant, BandwidthGbps: s.BandwidthGbps}
+	out.NFs = make([]*nf.Config, 0, len(s.NFs))
 	for i, n := range s.NFs {
 		t, err := nf.ParseType(n.Type)
 		if err != nil {
 			return nil, fmt.Errorf("p4rt: NF %d: %w", i, err)
 		}
-		cfg := &nf.Config{Type: t}
+		cfg := &nf.Config{Type: t, Rules: make([]nf.ConfigRule, 0, len(n.Rules))}
 		for _, r := range n.Rules {
 			matches := make([]pipeline.Match, len(r.Matches))
 			for k, m := range r.Matches {
@@ -172,8 +229,9 @@ func (s *SFCSpec) ToSFC() (*vswitch.SFC, error) {
 // FromSFC converts a vswitch SFC to the wire form.
 func FromSFC(s *vswitch.SFC) *SFCSpec {
 	spec := &SFCSpec{Tenant: s.Tenant, BandwidthGbps: s.BandwidthGbps}
+	spec.NFs = make([]NFSpec, 0, len(s.NFs))
 	for _, cfg := range s.NFs {
-		n := NFSpec{Type: cfg.Type.String()}
+		n := NFSpec{Type: cfg.Type.String(), Rules: make([]RuleSpec, 0, len(cfg.Rules))}
 		for _, r := range cfg.Rules {
 			matches := make([]MatchSpec, len(r.Matches))
 			for k, m := range r.Matches {

@@ -180,7 +180,7 @@ func TestConcurrentClients(t *testing.T) {
 	if err := c1.InstallPhysical(0, nf.Firewall, 1000); err != nil {
 		t.Fatal(err)
 	}
-	addr := c1.conn.RemoteAddr().String()
+	addr := c1.addr
 	done := make(chan error, 4)
 	for i := 0; i < 4; i++ {
 		go func(tenant uint32) {

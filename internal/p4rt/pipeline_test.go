@@ -1,0 +1,167 @@
+package p4rt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+	"sfp/internal/vswitch"
+)
+
+// transientInstallTarget fails the first n InstallPhysical calls with a
+// retry-safe (ErrUnavailable-wrapping) error.
+type transientInstallTarget struct {
+	Target
+	mu    sync.Mutex
+	fails int
+}
+
+func (t *transientInstallTarget) InstallPhysical(stage int, typ nf.Type, capacity int) error {
+	t.mu.Lock()
+	shouldFail := t.fails > 0
+	if shouldFail {
+		t.fails--
+	}
+	t.mu.Unlock()
+	if shouldFail {
+		return fmt.Errorf("injected: %w", ErrUnavailable)
+	}
+	return t.Target.InstallPhysical(stage, typ, capacity)
+}
+
+// TestBackoffDoesNotBlockOtherCalls is the regression test for the old
+// lock-the-world client: a call sleeping in retry backoff must not stall
+// unrelated callers on the same client.
+func TestBackoffDoesNotBlockOtherCalls(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	v := vswitch.New(pipeline.New(cfg))
+	tgt := &transientInstallTarget{Target: &VSwitchTarget{V: v}, fails: 2}
+	srv := NewServer(tgt)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := DialOptions(addr, ClientOptions{
+		MaxAttempts: 4,
+		BackoffBase: 300 * time.Millisecond,
+		BackoffMax:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	installDone := make(chan error, 1)
+	go func() { installDone <- c.InstallPhysical(0, nf.Firewall, 100) }()
+
+	// Give the install time to hit its first transient failure and enter
+	// the ~300ms backoff sleep, then ping through the same client.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping during backoff: %v", err)
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Errorf("ping took %v while another call backed off — client still lock-the-world", d)
+	}
+	if err := <-installDone; err != nil {
+		t.Fatalf("install never recovered: %v", err)
+	}
+}
+
+// TestGoFlushPipelinesRequests drives the async API: many requests in
+// flight on one connection, collected by Flush.
+func TestGoFlushPipelinesRequests(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+	if err := c.InstallPhysical(0, nf.Firewall, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(1, nf.Router, 1000); err != nil {
+		t.Fatal(err)
+	}
+	pls := batchPlacements()
+	for tenant := uint32(1); tenant <= 20; tenant++ {
+		c.Go(&Request{Type: MsgAllocateAt, SFC: FromSFC(wireSFC(tenant)), Placements: fromPlacements(pls)}, nil)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Tenants() != 20 {
+		t.Errorf("tenants = %d, want 20", v.Tenants())
+	}
+
+	// An async failure (duplicate tenant) surfaces on the next Flush…
+	c.Go(&Request{Type: MsgAllocateAt, SFC: FromSFC(wireSFC(1)), Placements: fromPlacements(pls)}, nil)
+	if err := c.Flush(); err == nil {
+		t.Error("Flush swallowed an async error")
+	}
+	// …and is cleared afterwards.
+	if err := c.Flush(); err != nil {
+		t.Errorf("Flush did not clear the collected error: %v", err)
+	}
+}
+
+// TestGoBatchCallback checks the async batch entry point with an explicit
+// completion callback.
+func TestGoBatchCallback(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+	pls := batchPlacements()
+	got := make(chan []BatchResult, 1)
+	c.GoBatch([]BatchOp{
+		OpInstallPhysical(0, nf.Firewall, 100),
+		OpInstallPhysical(1, nf.Router, 100),
+		OpAllocateAt(wireSFC(9), pls),
+	}, func(results []BatchResult, err error) {
+		if err != nil {
+			t.Errorf("batch: %v", err)
+		}
+		got <- results
+	})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	results := <-got
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	if v.Allocations(9) == nil {
+		t.Error("tenant 9 not installed")
+	}
+}
+
+// TestPipeliningSharesOneConnection: concurrent synchronous callers ride
+// one TCP connection instead of serializing on a client-wide lock.
+func TestPipeliningSharesOneConnection(t *testing.T) {
+	c, _, cleanup := startServer(t)
+	defer cleanup()
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Ping(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	cs := c.cs
+	c.mu.Unlock()
+	if cs == nil || cs.isBroken() {
+		t.Error("connection was replaced or poisoned by concurrent pings")
+	}
+}

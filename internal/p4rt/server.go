@@ -3,7 +3,6 @@ package p4rt
 import (
 	"bufio"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +57,39 @@ type Target interface {
 	Layout() [][]string
 	Stats() Stats
 	Inject(wire []byte, nowNs float64) (InjectResult, error)
+}
+
+// PhysicalRemover is an optional Target extension: undo an
+// install_physical sub-op during batch rollback. A batch containing
+// install_physical ops is rejected up front unless the target supports it.
+type PhysicalRemover interface {
+	RemovePhysical(stage int, t nf.Type) error
+}
+
+// TenantSnapshotter is an optional Target extension: capture a live
+// tenant's state so a batched deallocate can be undone. The returned
+// restore closure re-installs the tenant exactly as snapshotted; keeping
+// it opaque lets targets capture native state directly instead of paying
+// wire-form conversions on every deallocate sub-op (the undo is thrown
+// away whenever the batch succeeds, which is the common case). A batch
+// containing deallocate ops is rejected up front unless the target
+// supports it.
+type TenantSnapshotter interface {
+	TenantSnapshot(tenant uint32) (restore func() error, err error)
+}
+
+// BatchAllocItem pairs one allocate_at sub-op's chain with its placements.
+type BatchAllocItem struct {
+	SFC        *SFCSpec
+	Placements []PlacementSpec
+}
+
+// BatchAllocator is an optional Target extension: realize a run of
+// consecutive allocate_at sub-ops in one pass over the data plane
+// (all-or-nothing, returning per-item pass counts). Without it the server
+// falls back to per-op AllocateAt calls with individual undo entries.
+type BatchAllocator interface {
+	AllocateBatch(items []BatchAllocItem) ([]int, error)
 }
 
 // ServerOptions tunes server robustness. The zero value keeps historic
@@ -179,6 +211,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	var out []byte // response encode buffer, reused across frames
 	for {
 		if s.opts.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.opts.ReadTimeout))
@@ -189,16 +222,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		var req Request
 		resp := Response{OK: true}
-		if err := json.Unmarshal(body, &req); err != nil {
+		// Hand-rolled single-pass codec on both sides of the dispatch:
+		// reflection-driven JSON is the dominant per-op cost on large
+		// batch frames.
+		if err := req.UnmarshalJSON(body); err != nil {
 			resp = Response{Error: "bad request: " + err.Error()}
 		} else {
 			resp = s.dispatch(&req)
 			resp.ID = req.ID
 		}
-		out, err := marshal(resp)
-		if err != nil {
-			return
-		}
+		out = resp.appendJSON(out[:0])
 		if err := writeFrame(w, out); err != nil {
 			return
 		}
@@ -218,7 +251,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // through the dedup window: a replayed read just re-executes.
 func mutating(t MsgType) bool {
 	switch t {
-	case MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate:
+	case MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate, MsgBatch:
 		return true
 	}
 	return false
@@ -289,8 +322,158 @@ func (s *Server) execute(req *Request) Response {
 			return errResp(err)
 		}
 		return Response{OK: true, Inject: &res}
+	case MsgBatch:
+		return s.executeBatch(req)
 	}
 	return errResp(fmt.Errorf("unknown message type %q", req.Type))
+}
+
+// executeBatch runs an ordered list of mutating sub-ops all-or-nothing:
+// each applied op records an undo closure, and the first failure unwinds
+// them in reverse so the switch is left exactly as before the batch. It
+// runs under dispatch's single lock acquisition, so the whole batch is one
+// atomic step in the target's serialized history. The response is cached
+// in the dedup window as a unit, making a retried batch a no-op replay.
+//
+// The failure response is Transient (retry-safe) only when the failing
+// sub-op reported ErrUnavailable AND the rollback fully succeeded — a
+// half-unwound switch must never invite a blind retry.
+func (s *Server) executeBatch(req *Request) Response {
+	if len(req.Ops) == 0 {
+		return errResp(errors.New("batch: no sub-ops"))
+	}
+	// Capability pre-check before touching the target: every op type in
+	// the batch must be undoable, or the batch is rejected wholesale.
+	remover, _ := s.target.(PhysicalRemover)
+	snapper, _ := s.target.(TenantSnapshotter)
+	for i := range req.Ops {
+		switch req.Ops[i].Type {
+		case MsgInstallPhysical:
+			if remover == nil {
+				return errResp(fmt.Errorf("batch: op %d: target cannot roll back install_physical", i))
+			}
+		case MsgAllocate, MsgAllocateAt:
+			// Undone by Deallocate, which every Target has.
+		case MsgDeallocate:
+			if snapper == nil {
+				return errResp(fmt.Errorf("batch: op %d: target cannot roll back deallocate", i))
+			}
+		default:
+			return errResp(fmt.Errorf("batch: op %d: type %q not batchable", i, req.Ops[i].Type))
+		}
+	}
+
+	batcher, _ := s.target.(BatchAllocator)
+	results := make([]BatchResult, 0, len(req.Ops))
+	var undo []func() error
+
+	fail := func(i int, err error) Response {
+		clean := true
+		for k := len(undo) - 1; k >= 0; k-- {
+			if uerr := undo[k](); uerr != nil {
+				clean = false
+			}
+		}
+		resp := errResp(fmt.Errorf("batch: op %d (%s): %w", i, req.Ops[i].Type, err))
+		if !clean {
+			resp.Transient = false
+			resp.Error += " (rollback incomplete)"
+		}
+		return resp
+	}
+
+	i := 0
+	for i < len(req.Ops) {
+		// A run of consecutive allocate_at ops goes through the target's
+		// batch-apply fast path when available: one pass, one undo scope.
+		if batcher != nil && req.Ops[i].Type == MsgAllocateAt {
+			j := i
+			for j < len(req.Ops) && req.Ops[j].Type == MsgAllocateAt && req.Ops[j].SFC != nil {
+				j++
+			}
+			if j-i > 1 {
+				items := make([]BatchAllocItem, j-i)
+				for k := i; k < j; k++ {
+					items[k-i] = BatchAllocItem{SFC: req.Ops[k].SFC, Placements: req.Ops[k].Placements}
+				}
+				passes, err := batcher.AllocateBatch(items)
+				if err != nil {
+					return fail(i, err)
+				}
+				for k := i; k < j; k++ {
+					tenant := req.Ops[k].SFC.Tenant
+					undo = append(undo, func() error { return s.target.Deallocate(tenant) })
+					// The caller supplied the placements; echoing them back
+					// would just bloat the response frame.
+					results = append(results, BatchResult{OK: true, Passes: passes[k-i]})
+				}
+				i = j
+				continue
+			}
+		}
+		res, u, err := s.executeOp(&req.Ops[i], snapper)
+		if err != nil {
+			return fail(i, err)
+		}
+		results = append(results, res)
+		if u != nil {
+			undo = append(undo, u)
+		}
+		i++
+	}
+	return Response{OK: true, Results: results}
+}
+
+// executeOp applies one batch sub-op and returns its result plus the
+// closure that undoes it (nil for ops needing no undo).
+func (s *Server) executeOp(op *BatchOp, snapper TenantSnapshotter) (BatchResult, func() error, error) {
+	switch op.Type {
+	case MsgInstallPhysical:
+		t, err := nf.ParseType(op.NFType)
+		if err != nil {
+			return BatchResult{}, nil, err
+		}
+		if err := s.target.InstallPhysical(op.Stage, t, op.Capacity); err != nil {
+			return BatchResult{}, nil, err
+		}
+		stage := op.Stage
+		remover := s.target.(PhysicalRemover) // pre-checked in executeBatch
+		return BatchResult{OK: true}, func() error { return remover.RemovePhysical(stage, t) }, nil
+	case MsgAllocate:
+		if op.SFC == nil {
+			return BatchResult{}, nil, errors.New("missing sfc")
+		}
+		pls, passes, err := s.target.Allocate(op.SFC)
+		if err != nil {
+			return BatchResult{}, nil, err
+		}
+		tenant := op.SFC.Tenant
+		return BatchResult{OK: true, Placements: pls, Passes: passes},
+			func() error { return s.target.Deallocate(tenant) }, nil
+	case MsgAllocateAt:
+		if op.SFC == nil {
+			return BatchResult{}, nil, errors.New("missing sfc")
+		}
+		passes, err := s.target.AllocateAt(op.SFC, op.Placements)
+		if err != nil {
+			return BatchResult{}, nil, err
+		}
+		tenant := op.SFC.Tenant
+		return BatchResult{OK: true, Passes: passes},
+			func() error { return s.target.Deallocate(tenant) }, nil
+	case MsgDeallocate:
+		// Snapshot before removing so the undo can restore the tenant at
+		// its exact placements.
+		restore, err := snapper.TenantSnapshot(op.Tenant)
+		if err != nil {
+			return BatchResult{}, nil, err
+		}
+		if err := s.target.Deallocate(op.Tenant); err != nil {
+			return BatchResult{}, nil, err
+		}
+		return BatchResult{OK: true}, restore, nil
+	}
+	return BatchResult{}, nil, fmt.Errorf("type %q not batchable", op.Type)
 }
 
 func errResp(err error) Response {

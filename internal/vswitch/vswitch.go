@@ -58,6 +58,10 @@ type Allocation struct {
 	Passes int
 	// BandwidthGbps echoes the chain's demand for capacity bookkeeping.
 	BandwidthGbps float64
+	// Spec is the chain definition this allocation realized, kept so the
+	// allocation can be snapshotted and re-installed (batch rollback of a
+	// deallocation).
+	Spec *SFC
 }
 
 // VSwitch is the virtualized data plane: a pipeline plus the physical-NF
@@ -209,6 +213,91 @@ func (v *VSwitch) Allocate(sfc *SFC) (*Allocation, error) {
 // control plane's optimizer or by Fold). Placements must be one per logical
 // NF, in chain order, with strictly increasing virtual stage indices.
 func (v *VSwitch) AllocateAt(sfc *SFC, placements []Placement) (*Allocation, error) {
+	return v.allocateOne(sfc, placements, nil)
+}
+
+// BatchItem pairs one chain with its placements for AllocateBatch.
+type BatchItem struct {
+	SFC        *SFC
+	Placements []Placement
+}
+
+// BatchError reports an AllocateBatch failure: which item failed, and
+// which earlier items had already been installed and were rolled back
+// again (in install order) to restore the pre-batch state.
+type BatchError struct {
+	// Index is the position of the failing item.
+	Index int
+	// Tenant is the failing item's tenant.
+	Tenant uint32
+	// Applied lists tenants installed by this batch before the failure and
+	// deallocated again during rollback.
+	Applied []uint32
+	// Cause is the failing item's install error.
+	Cause error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("vswitch: batch item %d (tenant %d): %v (rolled back %d earlier tenant(s))",
+		e.Index, e.Tenant, e.Cause, len(e.Applied))
+}
+
+// Unwrap exposes the failing item's error.
+func (e *BatchError) Unwrap() error { return e.Cause }
+
+// AllocateBatch realizes many tenants' placements in one pass over the
+// pipeline: items install in order against a shared physical-NF
+// resolution cache, and admission (bandwidth, capacity, validation) is
+// checked per item exactly as sequential AllocateAt calls would, so the
+// batch succeeds if and only if the same sequence of AllocateAt calls
+// would. It is all-or-nothing: the first failure deallocates the items
+// already installed and returns a *BatchError naming them, leaving the
+// switch exactly as before the call.
+func (v *VSwitch) AllocateBatch(items []BatchItem) ([]*Allocation, error) {
+	seen := make(map[uint32]int, len(items))
+	for i, it := range items {
+		if j, dup := seen[it.SFC.Tenant]; dup {
+			return nil, fmt.Errorf("vswitch: batch items %d and %d both allocate tenant %d", j, i, it.SFC.Tenant)
+		}
+		seen[it.SFC.Tenant] = i
+	}
+	cache := make(map[[2]int]*PhysicalNF)
+	allocs := make([]*Allocation, 0, len(items))
+	for i, it := range items {
+		a, err := v.allocateOne(it.SFC, it.Placements, cache)
+		if err != nil {
+			applied := make([]uint32, len(allocs))
+			for k := len(allocs) - 1; k >= 0; k-- {
+				applied[k] = allocs[k].Tenant
+				v.Deallocate(allocs[k].Tenant)
+			}
+			return nil, &BatchError{Index: i, Tenant: it.SFC.Tenant, Applied: applied, Cause: err}
+		}
+		allocs = append(allocs, a)
+	}
+	return allocs, nil
+}
+
+// findPhysicalCached resolves (stage, type) through the batch-shared cache.
+func (v *VSwitch) findPhysicalCached(stage int, t nf.Type, cache map[[2]int]*PhysicalNF) *PhysicalNF {
+	if cache == nil {
+		return v.FindPhysical(stage, t)
+	}
+	key := [2]int{stage, int(t)}
+	if p, ok := cache[key]; ok {
+		return p
+	}
+	p := v.FindPhysical(stage, t)
+	if p != nil {
+		cache[key] = p
+	}
+	return p
+}
+
+// allocateOne is the install path shared by AllocateAt and AllocateBatch;
+// cache, when non-nil, memoizes physical-NF resolution across a batch.
+func (v *VSwitch) allocateOne(sfc *SFC, placements []Placement, cache map[[2]int]*PhysicalNF) (*Allocation, error) {
 	if _, live := v.byTenant[sfc.Tenant]; live {
 		return nil, fmt.Errorf("vswitch: tenant %d already allocated", sfc.Tenant)
 	}
@@ -268,7 +357,7 @@ func (v *VSwitch) AllocateAt(sfc *SFC, placements []Placement) (*Allocation, err
 		}
 	}
 	for i, pl := range placements {
-		pnf := v.FindPhysical(pl.Stage, pl.Type)
+		pnf := v.findPhysicalCached(pl.Stage, pl.Type, cache)
 		if pnf == nil {
 			rollback()
 			return nil, fmt.Errorf("vswitch: no physical %v on stage %d", pl.Type, pl.Stage)
@@ -308,7 +397,7 @@ func (v *VSwitch) AllocateAt(sfc *SFC, placements []Placement) (*Allocation, err
 	}
 
 	for _, p := range emptyPasses {
-		pnf := v.FindPhysical(placements[0].Stage, placements[0].Type)
+		pnf := v.findPhysicalCached(placements[0].Stage, placements[0].Type, cache)
 		if pnf == nil {
 			rollback()
 			return nil, fmt.Errorf("vswitch: no physical %v on stage %d for pass-%d steering",
@@ -326,6 +415,7 @@ func (v *VSwitch) AllocateAt(sfc *SFC, placements []Placement) (*Allocation, err
 		Placements:    placements,
 		Passes:        passes,
 		BandwidthGbps: sfc.BandwidthGbps,
+		Spec:          sfc,
 	}
 	v.byTenant[sfc.Tenant] = alloc
 	v.bandwidthUsed += float64(passes) * sfc.BandwidthGbps

