@@ -11,9 +11,18 @@
 // On SIGINT/SIGTERM the daemon drains: the listener stops accepting,
 // in-flight requests finish and deliver their responses, then it exits
 // (force-closing after -drain-timeout).
+//
+// With -state-dir the daemon is warm-restartable: on graceful shutdown it
+// writes the full switch state (physical NFs and tenant allocations, the
+// same dump the dump_state RPC serves) as an atomic snapshot into that
+// directory, and on start it restores any snapshot found there. After a
+// hard crash the snapshot may lag the switch the controller remembers —
+// that is exactly the drift the controller's recover+reconcile path
+// (sfpctl -state-dir) repairs through the dump_state read-back.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +33,7 @@ import (
 	"sfp/internal/p4rt"
 	"sfp/internal/pipeline"
 	"sfp/internal/vswitch"
+	"sfp/internal/wal"
 )
 
 func main() {
@@ -41,6 +51,8 @@ func main() {
 			"maximum concurrent control connections; excess accepts are shed (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
 			"how long to let in-flight requests finish on shutdown before force-closing")
+		stateDir = flag.String("state-dir", "",
+			"warm-restart directory: restore switch state from its snapshot on start, save a new snapshot on graceful shutdown")
 	)
 	flag.Parse()
 
@@ -52,6 +64,33 @@ func main() {
 	cfg.MaxPasses = *passes
 
 	v := vswitch.New(pipeline.New(cfg))
+	var stateLog *wal.Log
+	if *stateDir != "" {
+		log, rec, err := wal.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfpd:", err)
+			os.Exit(1)
+		}
+		stateLog = log
+		if rec.Snapshot != nil {
+			var d p4rt.StateDump
+			if err := json.Unmarshal(rec.Snapshot, &d); err != nil {
+				fmt.Fprintln(os.Stderr, "sfpd: decoding state snapshot:", err)
+				os.Exit(1)
+			}
+			st, err := d.ToState()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sfpd: state snapshot:", err)
+				os.Exit(1)
+			}
+			if err := v.Restore(st); err != nil {
+				fmt.Fprintln(os.Stderr, "sfpd: restoring switch state:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("sfpd: restored %d physical NFs, %d tenant allocations from %s\n",
+				len(st.Physical), len(st.Tenants), *stateDir)
+		}
+	}
 	srv := p4rt.NewServerOptions(&p4rt.VSwitchTarget{V: v}, p4rt.ServerOptions{
 		ReadTimeout: *readTimeout,
 		MaxConns:    *maxConns,
@@ -72,5 +111,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sfpd: forced close after drain timeout:", err)
 	}
 	srv.Close()
+	if stateLog != nil {
+		// All in-flight mutations have drained; snapshot the final state
+		// atomically (tmp + rename + dir fsync via the wal rotation).
+		b, err := json.Marshal(p4rt.FromState(v.ExportState()))
+		if err == nil {
+			err = stateLog.Rotate(b)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfpd: saving state snapshot:", err)
+		} else {
+			fmt.Printf("sfpd: saved switch state to %s\n", *stateDir)
+		}
+		stateLog.Close()
+	}
 	fmt.Println("sfpd: shut down")
 }

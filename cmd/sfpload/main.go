@@ -29,13 +29,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:9559", "sfpd address")
-		tenant  = flag.Uint("tenant", 7, "tenant / VLAN ID")
-		n       = flag.Int("packets", 5000, "packets per size")
-		setup   = flag.Bool("setup", true, "install physical NFs and the demo SFC first")
-		seed    = flag.Int64("seed", 1, "flow RNG seed")
-		timeout = flag.Duration("timeout", 5*time.Second, "dial timeout")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel injection connections (1 reproduces the sequential numbers bit-for-bit)")
+		addr     = flag.String("addr", "127.0.0.1:9559", "sfpd address")
+		tenant   = flag.Uint("tenant", 7, "tenant / VLAN ID")
+		n        = flag.Int("packets", 5000, "packets per size")
+		setup    = flag.Bool("setup", true, "install physical NFs and the demo SFC first")
+		seed     = flag.Int64("seed", 1, "flow RNG seed")
+		timeout  = flag.Duration("timeout", 5*time.Second, "dial timeout")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel injection connections (1 reproduces the sequential numbers bit-for-bit)")
 		arrivals = flag.Int("arrivals", 0, "provisioning mode: drive this many tenant arrivals (then departures) through the southbound API and report arrivals/sec instead of injecting traffic")
 		batch    = flag.Int("batch", 0, "sub-ops per MsgBatch frame in provisioning mode, pipelined on one connection (0 = one synchronous RPC per op)")
 	)

@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"sfp/internal/placement"
 	"sfp/internal/traffic"
 	"sfp/internal/vswitch"
+	"sfp/internal/wal"
 )
 
 // Algorithm selects the placement solver.
@@ -77,6 +79,15 @@ type Options struct {
 	// Logf, when set, receives operational log lines (solver fallbacks,
 	// rollbacks). Nil discards them.
 	Logf func(format string, args ...any)
+	// Hook, when set, is called at named points inside mutating
+	// transitions (e.g. "provision:journaled", "depart:deallocated").
+	// The fault-injection harness uses it to kill the controller at
+	// every possible crash point; production controllers leave it nil.
+	Hook func(point string)
+	// SnapshotEvery rotates the journal onto a fresh snapshot after this
+	// many committed records. Zero means 1024; negative disables
+	// automatic snapshots.
+	SnapshotEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,12 +131,24 @@ type Controller struct {
 	placed map[uint32]bool
 	// lastInfo describes the most recent Provision solve.
 	lastInfo ProvisionInfo
+
+	// log is the write-ahead journal; nil for non-durable controllers.
+	log *wal.Log
+	// recs counts committed records since the last snapshot rotation.
+	recs int
 }
 
 // logf forwards to Options.Logf when set.
 func (c *Controller) logf(format string, args ...any) {
 	if c.opts.Logf != nil {
 		c.opts.Logf(format, args...)
+	}
+}
+
+// hook fires a named crash/trace point.
+func (c *Controller) hook(point string) {
+	if c.opts.Hook != nil {
+		c.opts.Hook(point)
 	}
 }
 
@@ -266,8 +289,27 @@ func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
 		return model.Metrics{}, err
 	}
 	c.lastInfo = info
+	// Journal the full intended state and fsync it BEFORE the first
+	// southbound effect: after a crash the journal is always at least as
+	// new as the switch, so recovery plus reconciliation can finish or
+	// undo whatever the install got to.
+	if c.log != nil {
+		st := &stateRec{
+			Provisioned: true,
+			SFCs:        fromSFCs(sortSFCs(sfcs)),
+			Live:        deployedEntries(in, res.Assignment, nil),
+			Layout:      cloneLayout(res.Assignment.X),
+		}
+		ic := info
+		st.Info = &ic
+		if err := c.journalCommit(recProvisionBegin, st); err != nil {
+			return model.Metrics{}, err
+		}
+	}
+	c.hook("provision:journaled")
 	journal, err := c.install("provision", in, res.Assignment, byTenant)
 	if err != nil {
+		c.abort(recProvisionAbort)
 		return model.Metrics{}, err
 	}
 	build := model.BuildOptions{Consolidate: c.opts.Consolidate}
@@ -275,13 +317,37 @@ func (c *Controller) Provision(sfcs []*vswitch.SFC) (model.Metrics, error) {
 	if err != nil {
 		// The switch is configured but the incremental-update state could
 		// not be built: undo the installs so nothing is stranded.
-		return model.Metrics{}, c.partialFailure("provision", err, journal)
+		pf := c.partialFailure("provision", err, journal)
+		c.abort(recProvisionAbort)
+		return model.Metrics{}, pf
 	}
 	// Commit: tenants become known only once fully realized.
 	for _, s := range sfcs {
 		c.sfcs[s.Tenant] = s
 	}
+	c.hook("provision:precommit")
+	if err := c.journalCommit(recProvisionCommit, nil); err != nil {
+		return res.Metrics, err
+	}
+	c.hook("provision:committed")
 	return res.Metrics, nil
+}
+
+// sortSFCs returns the batch in ascending-tenant order (the canonical
+// serialization order) without mutating the caller's slice.
+func sortSFCs(sfcs []*vswitch.SFC) []*vswitch.SFC {
+	out := append([]*vswitch.SFC(nil), sfcs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// abort journals a bare abort marker; best-effort, since the in-memory
+// rollback already happened and a journal error cannot unwind it (an
+// uncommitted begin record is presumed aborted at recovery anyway).
+func (c *Controller) abort(kind byte) {
+	if err := c.journalCommit(kind, nil); err != nil {
+		c.logf("core: journaling abort: %v", err)
+	}
 }
 
 // install realizes an assignment on the (empty or partially filled) data
@@ -305,12 +371,12 @@ func (c *Controller) install(op string, in *model.Instance, a *model.Assignment,
 	return journal, nil
 }
 
-// apply performs the install steps, recording each in the journal.
-func (c *Controller) apply(in *model.Instance, a *model.Assignment, byTenant map[uint32]*vswitch.SFC, journal *installJournal) error {
+// ruleNeed computes the rule capacity demanded per (type, stage) cell by
+// every deployed chain: the NF rule counts, the per-pass REC catch-alls
+// carried by tail NFs, and the steering catch-alls for tail-less passes
+// that live in the chain's first NF table (see vswitch.AllocateAt).
+func ruleNeed(in *model.Instance, a *model.Assignment) map[[2]int]int {
 	S := in.Switch.Stages
-	E := in.Switch.EntriesPerBlock
-
-	// Required capacity per (type, stage) from the assignment.
 	need := map[[2]int]int{}
 	for l, ch := range in.Chains {
 		if !a.Deployed(l) {
@@ -326,8 +392,6 @@ func (c *Controller) apply(in *model.Instance, a *model.Assignment, byTenant map
 				hasTail[k/S] = true
 			}
 		}
-		// Steering catch-alls for tail-less passes live in the first NF's
-		// table (see vswitch.AllocateAt).
 		first := [2]int{ch.NFs[0].Type, a.Stages[l][0] % S}
 		for p := 0; p < a.Passes(l, S)-1; p++ {
 			if !hasTail[p] {
@@ -335,6 +399,14 @@ func (c *Controller) apply(in *model.Instance, a *model.Assignment, byTenant map
 			}
 		}
 	}
+	return need
+}
+
+// apply performs the install steps, recording each in the journal.
+func (c *Controller) apply(in *model.Instance, a *model.Assignment, byTenant map[uint32]*vswitch.SFC, journal *installJournal) error {
+	S := in.Switch.Stages
+	E := in.Switch.EntriesPerBlock
+	need := ruleNeed(in, a)
 	// Install or grow physical NFs. Block-align capacities so the reserved
 	// memory matches the model's accounting.
 	for i := 1; i <= in.NumTypes; i++ {
@@ -408,7 +480,11 @@ func (c *Controller) apply(in *model.Instance, a *model.Assignment, byTenant map
 	return nil
 }
 
-// Depart removes a tenant from both planes.
+// Depart removes a tenant from both planes. Like every other mutating
+// transition it runs as a journaled transaction: the intent is durable
+// before the deallocation touches the switch, and a planner failure after
+// the deallocation restores the tenant's rules from the captured undo
+// state instead of stranding a half-departed tenant.
 func (c *Controller) Depart(tenant uint32) error {
 	if c.updater == nil {
 		return fmt.Errorf("core: not provisioned")
@@ -416,16 +492,43 @@ func (c *Controller) Depart(tenant uint32) error {
 	if _, known := c.sfcs[tenant]; !known {
 		return fmt.Errorf("core: unknown tenant %d", tenant)
 	}
-	if c.placed[tenant] {
+	placed := c.placed[tenant]
+	if err := c.journalCommit(recDepartBegin, &departRec{Tenant: tenant, Placed: placed}); err != nil {
+		return err
+	}
+	c.hook("depart:journaled")
+	if placed {
+		// Capture the undo state before touching the switch: Deallocate
+		// frees the rules, so the restore must come from a copy.
+		undo := c.v.Allocations(tenant)
 		if err := c.v.Deallocate(tenant); err != nil {
+			c.abort(recDepartAbort)
+			return err
+		}
+		c.hook("depart:deallocated")
+		if err := c.updater.Depart(int(tenant)); err != nil {
+			// Planner refused: re-install the captured allocation so the
+			// data plane matches the still-live planner state.
+			if undo != nil {
+				if _, rerr := c.v.AllocateAt(undo.Spec, undo.Placements); rerr != nil {
+					err = fmt.Errorf("%w (restoring rules also failed: %v)", err, rerr)
+				}
+			}
+			c.abort(recDepartAbort)
 			return err
 		}
 		delete(c.placed, tenant)
-		if err := c.updater.Depart(int(tenant)); err != nil {
-			return err
-		}
+	} else {
+		// A waiting tenant has no rules, but the planner still knows it:
+		// withdraw it so future replans stop considering a ghost.
+		c.updater.Withdraw(int(tenant))
 	}
 	delete(c.sfcs, tenant)
+	c.hook("depart:precommit")
+	if err := c.journalCommit(recDepartCommit, nil); err != nil {
+		return err
+	}
+	c.hook("depart:committed")
 	return nil
 }
 
@@ -483,19 +586,18 @@ func (c *Controller) ArriveMany(sfcs []*vswitch.SFC) ([]uint32, error) {
 		}
 		c.sfcs[s.Tenant] = s
 	}
-	if err := c.replan(); err != nil {
-		return nil, err
-	}
-	// Realize every newly live chain in the data plane in one batch.
-	in, a, _ := c.updater.Current()
-	if _, err := c.install("arrive", in, a, c.sfcs); err != nil {
-		// The data plane was rolled back by install; also erase the whole
-		// batch from the planner and the tenant registry so the controller
-		// forgets it.
+	c.hook("arrive:registered")
+	// Stage the registration record: it becomes durable together with the
+	// place intent under a single fsync (or alone, if the replan fails and
+	// the batch stays waiting).
+	if err := c.journal(recArriveRegister, &registerRec{SFCs: fromSFCs(sortSFCs(sfcs))}); err != nil {
 		for _, s := range sfcs {
 			c.updater.Withdraw(int(s.Tenant))
 			delete(c.sfcs, s.Tenant)
 		}
+		return nil, err
+	}
+	if _, err := c.place(sfcs); err != nil {
 		return nil, err
 	}
 	var placed []uint32
@@ -505,6 +607,76 @@ func (c *Controller) ArriveMany(sfcs []*vswitch.SFC) ([]uint32, error) {
 		}
 	}
 	return placed, nil
+}
+
+// Replan re-runs the incremental placement over the waiting candidates
+// and realizes whatever it newly admits, as one journaled transaction. It
+// returns the tenants newly placed by this call. With nothing waiting and
+// nothing stranded it is a cheap no-op.
+func (c *Controller) Replan() ([]uint32, error) {
+	if c.updater == nil {
+		return nil, fmt.Errorf("core: not provisioned")
+	}
+	if c.updater.Waiting() == 0 {
+		in, a, _ := c.updater.Current()
+		if len(deployedEntries(in, a, c.placed)) == 0 {
+			return nil, nil
+		}
+	}
+	return c.place(nil)
+}
+
+// place runs one incremental replan and realizes the newly admitted
+// chains in the data plane, as a journaled transaction (placeBegin before
+// the install, placeCommit/placeAbort after). batch lists the arrivals to
+// withdraw wholesale when the install fails (nil for a bare Replan). It
+// returns the tenants this call placed.
+func (c *Controller) place(batch []*vswitch.SFC) ([]uint32, error) {
+	if err := c.replan(); err != nil {
+		// Keep any staged registration durable: the batch stays known as
+		// waiting candidates for the next replan.
+		if cerr := c.journalCommit(0, nil); cerr != nil {
+			c.logf("core: committing registration: %v", cerr)
+		}
+		return nil, err
+	}
+	in, a, _ := c.updater.Current()
+	// The delta is every deployed chain not yet realized on the switch —
+	// the replan's admissions plus any chain a previous failed install
+	// left stranded.
+	delta := deployedEntries(in, a, c.placed)
+	if err := c.journalCommit(recPlaceBegin, &placeRec{Live: delta, Layout: cloneLayout(a.X)}); err != nil {
+		return nil, err
+	}
+	c.hook("place:journaled")
+	if _, err := c.install("arrive", in, a, c.sfcs); err != nil {
+		// The data plane was rolled back by install; erase the batch from
+		// the planner and the registry so the controller forgets it.
+		// Chains the replan admitted beyond the batch stay live in the
+		// planner and are re-attempted by the next install pass.
+		withdrawn := make([]uint32, 0, len(batch))
+		for _, s := range batch {
+			c.updater.Withdraw(int(s.Tenant))
+			delete(c.sfcs, s.Tenant)
+			withdrawn = append(withdrawn, s.Tenant)
+		}
+		if jerr := c.journalCommit(recPlaceAbort, &abortRec{Tenants: withdrawn}); jerr != nil {
+			c.logf("core: journaling abort: %v", jerr)
+		}
+		return nil, err
+	}
+	c.hook("place:precommit")
+	if err := c.journalCommit(recPlaceCommit, nil); err != nil {
+		return nil, err
+	}
+	c.hook("place:committed")
+	var newly []uint32
+	for _, e := range delta {
+		if c.placed[e.Tenant] {
+			newly = append(newly, e.Tenant)
+		}
+	}
+	return newly, nil
 }
 
 // replan runs one incremental replan with the controller's configured
@@ -556,14 +728,27 @@ func (c *Controller) ReconfigureIfStale(threshold float64) (bool, error) {
 	if err != nil || !did {
 		return false, err
 	}
+	// The planner has adopted the new global plan; journal it in full
+	// before wiping the data plane, so a crash mid-rebuild recovers the
+	// adopted plan with an empty placed set and Reconcile re-realizes it.
+	if err := c.journalCommit(recReconfigBegin, c.stateRecNow()); err != nil {
+		return true, err
+	}
+	c.hook("reconfig:journaled")
 	// Full rebuild: fresh pipeline, reinstall everything at the new
 	// placements (the disruptive path the paper warns costs a reboot).
 	c.v = vswitch.New(pipeline.New(c.opts.Pipeline))
 	c.placed = make(map[uint32]bool)
 	in, a, _ := c.updater.Current()
 	if _, err := c.install("reconfigure", in, a, c.sfcs); err != nil {
+		c.abort(recReconfigAbort)
 		return true, err
 	}
+	c.hook("reconfig:precommit")
+	if err := c.journalCommit(recReconfigCommit, nil); err != nil {
+		return true, err
+	}
+	c.hook("reconfig:committed")
 	return true, nil
 }
 

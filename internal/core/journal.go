@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sfp/internal/p4rt"
+)
+
+// The controller's durability protocol: every mutating transition writes
+// an intent record to the write-ahead journal and fsyncs it BEFORE the
+// first southbound (data-plane) effect, and a commit record after the
+// transition fully applied. Recovery replays the journal with presumed
+// abort: a begin record without its commit means the crash happened
+// somewhere inside the southbound window, so the transition is discarded
+// and Reconcile repairs the switch back to the last committed intent.
+//
+// Each journal record is one kind byte followed by a JSON payload. The
+// heavy subtrees — full SFC definitions — ride as p4rt.SFCSpec values,
+// whose hand-rolled wire codec (PR 4) does the encode/decode work; the
+// thin envelopes use encoding/json directly.
+
+// Journal record kinds.
+const (
+	recSnapshot byte = iota + 1
+	recProvisionBegin
+	recProvisionCommit
+	recProvisionAbort
+	recArriveRegister
+	recPlaceBegin
+	recPlaceCommit
+	recPlaceAbort
+	recDepartBegin
+	recDepartCommit
+	recDepartAbort
+	recReconfigBegin
+	recReconfigCommit
+	recReconfigAbort
+)
+
+// liveEntry records one live chain's virtual stages.
+type liveEntry struct {
+	Tenant uint32 `json:"t"`
+	Stages []int  `json:"k"`
+}
+
+// stateRec is the full-controller-state payload used by snapshots and
+// provision/reconfigure begin records.
+type stateRec struct {
+	Provisioned bool            `json:"p,omitempty"`
+	SFCs        []*p4rt.SFCSpec `json:"sfcs,omitempty"`
+	Live        []liveEntry     `json:"live,omitempty"`
+	Placed      []uint32        `json:"placed,omitempty"`
+	Layout      [][]bool        `json:"layout,omitempty"`
+	Info        *ProvisionInfo  `json:"info,omitempty"`
+}
+
+// registerRec carries the SFCs an ArriveMany registered.
+type registerRec struct {
+	SFCs []*p4rt.SFCSpec `json:"sfcs"`
+}
+
+// placeRec is a place (replan+install) begin record: the delta of chains
+// the replan newly admitted plus the post-replan physical layout.
+type placeRec struct {
+	Live   []liveEntry `json:"live,omitempty"`
+	Layout [][]bool    `json:"layout,omitempty"`
+}
+
+// abortRec is a place abort: which registered tenants were withdrawn
+// wholesale after the install failed (the rest of the pending delta stays
+// admitted in the planner, pending the next install).
+type abortRec struct {
+	Tenants []uint32 `json:"tenants,omitempty"`
+}
+
+// departRec identifies the tenant a departure targets and whether it held
+// data-plane rules when the departure began.
+type departRec struct {
+	Tenant uint32 `json:"tenant"`
+	Placed bool   `json:"placed,omitempty"`
+}
+
+// encodeRec frames one journal record: kind byte + JSON payload (nil
+// payload for bare commit/abort markers).
+func encodeRec(kind byte, payload any) ([]byte, error) {
+	b := []byte{kind}
+	if payload == nil {
+		return b, nil
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: journal encode: %w", err)
+	}
+	return append(b, body...), nil
+}
+
+// journal stages one record on the WAL without committing; a no-op for
+// non-durable controllers.
+func (c *Controller) journal(kind byte, payload any) error {
+	if c.log == nil {
+		return nil
+	}
+	rec, err := encodeRec(kind, payload)
+	if err != nil {
+		return err
+	}
+	return c.log.Append(rec)
+}
+
+// journalCommit makes everything staged so far (plus this record, when
+// kind != 0) durable under one fsync.
+func (c *Controller) journalCommit(kind byte, payload any) error {
+	if c.log == nil {
+		return nil
+	}
+	if kind != 0 {
+		if err := c.journal(kind, payload); err != nil {
+			return err
+		}
+	}
+	if err := c.log.Commit(); err != nil {
+		return err
+	}
+	c.recs++
+	c.maybeSnapshot()
+	return nil
+}
+
+// maybeSnapshot rotates the journal onto a fresh snapshot once enough
+// records accumulated. Best-effort: a failed rotation keeps journaling to
+// the current (longer) generation.
+func (c *Controller) maybeSnapshot() {
+	every := c.opts.SnapshotEvery
+	if every == 0 {
+		every = 1024
+	}
+	if every < 0 || c.recs < every {
+		return
+	}
+	if err := c.snapshotNow(); err != nil {
+		c.logf("core: journal snapshot failed: %v", err)
+	}
+}
+
+// snapshotNow writes the controller's full state as a new snapshot
+// generation and resets the record counter.
+func (c *Controller) snapshotNow() error {
+	if c.log == nil {
+		return nil
+	}
+	rec, err := encodeRec(recSnapshot, c.stateRecNow())
+	if err != nil {
+		return err
+	}
+	if err := c.log.Rotate(rec); err != nil {
+		return err
+	}
+	c.recs = 0
+	return nil
+}
+
+// stateRecNow captures the controller's current durable state.
+func (c *Controller) stateRecNow() *stateRec {
+	st := &stateRec{Provisioned: c.updater != nil}
+	info := c.lastInfo
+	st.Info = &info
+	for _, t := range sortedTenants(c.sfcs) {
+		st.SFCs = append(st.SFCs, p4rt.FromSFC(c.sfcs[t]))
+	}
+	for _, t := range sortedKeys(c.placed) {
+		st.Placed = append(st.Placed, t)
+	}
+	if c.updater != nil {
+		in, a, _ := c.updater.Current()
+		st.Live = deployedEntries(in, a, nil)
+		st.Layout = cloneLayout(a.X)
+	}
+	return st
+}

@@ -1,0 +1,65 @@
+package faultnet
+
+import "fmt"
+
+// Crash is the panic payload KillPoints throws to simulate a controller
+// dying at a specific point inside a mutating transition. The convergence
+// harness recovers it (and only it), abandons the crashed controller, and
+// restarts from the write-ahead journal.
+type Crash struct {
+	// Point names the hook at which the controller died.
+	Point string
+	// Index is the 0-based hook invocation count at the kill.
+	Index int
+}
+
+// Error makes a *Crash readable when it escapes a test harness.
+func (c *Crash) Error() string {
+	return fmt.Sprintf("faultnet: controller killed at hook %d (%s)", c.Index, c.Point)
+}
+
+// KillPoints kills the controller at the n-th hook invocation: its Hook
+// method plugs into core.Options.Hook and panics with *Crash when the
+// configured index fires. Iterating n from 0 until a run sees no crash
+// exercises every crash point a scenario has.
+type KillPoints struct {
+	at    int
+	count int
+	// Killed records the crash that fired, nil until then.
+	Killed *Crash
+}
+
+// KillAt arms a kill at the n-th (0-based) hook invocation. Negative
+// never fires.
+func KillAt(n int) *KillPoints {
+	return &KillPoints{at: n}
+}
+
+// Count reports how many hook points have fired so far.
+func (k *KillPoints) Count() int { return k.count }
+
+// Hook is the core.Options.Hook implementation.
+func (k *KillPoints) Hook(point string) {
+	i := k.count
+	k.count++
+	if i == k.at && k.at >= 0 {
+		k.Killed = &Crash{Point: point, Index: i}
+		panic(k.Killed)
+	}
+}
+
+// Crashed runs fn, converting a *Crash panic into a return value. Any
+// other panic propagates — only simulated kills are absorbed.
+func Crashed(fn func()) (crash *Crash) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*Crash)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	fn()
+	return nil
+}

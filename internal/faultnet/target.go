@@ -136,6 +136,20 @@ func (t *FlakyTarget) TenantSnapshot(tenant uint32) (func() error, error) {
 // dispatched through it take the server's per-op path, so every sub-op is
 // individually gated by the fault schedule.
 
+// DumpState implements p4rt.StateDumper: gated like other fallible RPCs
+// (reconciliation must cope with a transiently unreadable switch), then
+// forwarded. Existing fault schedules are unaffected — they never dump.
+func (t *FlakyTarget) DumpState() (*p4rt.StateDump, error) {
+	d, ok := t.inner.(p4rt.StateDumper)
+	if !ok {
+		return nil, fmt.Errorf("faultnet: inner target cannot dump state")
+	}
+	if err := t.gate(); err != nil {
+		return nil, err
+	}
+	return d.DumpState()
+}
+
 // Layout implements p4rt.Target.
 func (t *FlakyTarget) Layout() [][]string { return t.inner.Layout() }
 

@@ -338,7 +338,7 @@ func (c *Client) backoff(n int) {
 // Inject is neither (it perturbs data-plane counters and has no dedup).
 func retryable(t MsgType) bool {
 	switch t {
-	case MsgPing, MsgLayout, MsgStats,
+	case MsgPing, MsgLayout, MsgStats, MsgDumpState,
 		MsgInstallPhysical, MsgAllocate, MsgAllocateAt, MsgDeallocate,
 		MsgBatch:
 		return true
@@ -571,6 +571,21 @@ func (c *Client) Layout() ([][]string, error) {
 	return resp.Layout, nil
 }
 
+// DumpState reads back the switch's full installed configuration
+// (physical NFs and tenant allocations) for reconciliation. Read-only:
+// retried like Layout/Stats.
+func (c *Client) DumpState() (*StateDump, error) {
+	resp, err := c.call(&Request{Type: MsgDumpState})
+	if err != nil {
+		return nil, err
+	}
+	if resp.State == nil {
+		// A switch with nothing installed legitimately dumps empty.
+		return &StateDump{}, nil
+	}
+	return resp.State, nil
+}
+
 // Stats reads switch resource counters.
 func (c *Client) Stats() (Stats, error) {
 	resp, err := c.call(&Request{Type: MsgStats})
@@ -691,6 +706,12 @@ func (t *VSwitchTarget) AllocateBatch(items []BatchAllocItem) ([]int, error) {
 		passes[i] = a.Passes
 	}
 	return passes, nil
+}
+
+// DumpState implements StateDumper: export the switch's installed
+// configuration in canonical order.
+func (t *VSwitchTarget) DumpState() (*StateDump, error) {
+	return FromState(t.V.ExportState()), nil
 }
 
 // Layout implements Target.

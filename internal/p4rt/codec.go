@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+	"strings"
+	"unicode/utf8"
 )
 
 // --- encoding ---------------------------------------------------------------
@@ -354,6 +356,61 @@ func (r *Response) appendJSON(b []byte) []byte {
 		}
 		b = append(b, ']')
 	}
+	if r.State != nil {
+		b = appendKey(b, &first, "state")
+		b = appendStateDump(b, r.State)
+	}
+	return append(b, '}')
+}
+
+// appendStateDump encodes a state dump: the envelope stays a keyed object,
+// while the bulky entries use the codec's compact positional arrays:
+//
+//	PhysicalDump [stage, "type", capacity, used]
+//	TenantDump   [SFCSpec, [PlacementSpec...], passes]
+func appendStateDump(b []byte, d *StateDump) []byte {
+	first := true
+	if len(d.Physical) != 0 {
+		b = appendKey(b, &first, "physical")
+		b = append(b, '[')
+		for i := range d.Physical {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			p := &d.Physical[i]
+			b = append(b, '[')
+			b = strconv.AppendInt(b, int64(p.Stage), 10)
+			b = append(b, ',')
+			b = appendJSONString(b, p.Type)
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(p.Capacity), 10)
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(p.Used), 10)
+			b = append(b, ']')
+		}
+		b = append(b, ']')
+	}
+	if len(d.Tenants) != 0 {
+		b = appendKey(b, &first, "tenants")
+		b = append(b, '[')
+		for i := range d.Tenants {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			t := &d.Tenants[i]
+			b = append(b, '[')
+			b = appendSFCSpec(b, t.SFC)
+			b = append(b, ',')
+			b = appendPlacements(b, t.Placements)
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(t.Passes), 10)
+			b = append(b, ']')
+		}
+		b = append(b, ']')
+	}
+	if first {
+		b = append(b, '{')
+	}
 	return append(b, '}')
 }
 
@@ -375,6 +432,9 @@ func (p PlacementSpec) MarshalJSON() ([]byte, error) { return appendPlacement(ni
 type jscan struct {
 	b []byte
 	i int
+	// depth tracks skipValue nesting so hostile deeply-nested input fails
+	// cleanly instead of overflowing the goroutine stack.
+	depth int
 }
 
 func (p *jscan) ws() {
@@ -502,14 +562,31 @@ func (p *jscan) str() (string, error) {
 		case '"':
 			s := string(p.b[p.i+1 : j])
 			p.i = j + 1
+			// Canonicalize invalid UTF-8 to U+FFFD like encoding/json's
+			// unquote does: the encoder sanitizes on output, so keeping
+			// raw invalid bytes here would make decode/encode diverge.
+			if !utf8.ValidString(s) {
+				s = strings.ToValidUTF8(s, "�")
+			}
 			return s, nil
 		}
 	}
 	return "", fmt.Errorf("p4rt: wire: unterminated string at offset %d", p.i)
 }
 
+// maxSkipDepth bounds skipValue's recursion over unknown fields. Known
+// payload shapes have small fixed depth; anything deeper is a hostile
+// frame (e.g. "[[[[[...") that would otherwise overflow the stack long
+// before the 16 MB frame limit stops it.
+const maxSkipDepth = 64
+
 // skipValue consumes any JSON value (unknown envelope fields).
 func (p *jscan) skipValue() error {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxSkipDepth {
+		return fmt.Errorf("p4rt: wire: value nested deeper than %d at offset %d", maxSkipDepth, p.i)
+	}
 	p.ws()
 	if p.i >= len(p.b) {
 		return fmt.Errorf("p4rt: wire: missing value")
@@ -1029,6 +1106,105 @@ func (p *jscan) inject(in *InjectResult) error {
 	})
 }
 
+func (p *jscan) stateDump(d *StateDump) error {
+	return p.object(func(key string) error {
+		switch key {
+		case "physical":
+			if err := p.expect('['); err != nil {
+				return err
+			}
+			p.ws()
+			if p.i < len(p.b) && p.b[p.i] == ']' {
+				p.i++
+				return nil
+			}
+			for {
+				var ph PhysicalDump
+				if err := p.expect('['); err != nil {
+					return err
+				}
+				var err error
+				if ph.Stage, err = p.int(); err != nil {
+					return err
+				}
+				if err = p.expect(','); err != nil {
+					return err
+				}
+				if ph.Type, err = p.str(); err != nil {
+					return err
+				}
+				if err = p.expect(','); err != nil {
+					return err
+				}
+				if ph.Capacity, err = p.int(); err != nil {
+					return err
+				}
+				if err = p.expect(','); err != nil {
+					return err
+				}
+				if ph.Used, err = p.int(); err != nil {
+					return err
+				}
+				if err = p.expect(']'); err != nil {
+					return err
+				}
+				d.Physical = append(d.Physical, ph)
+				more, err := p.sep(']')
+				if err != nil {
+					return err
+				}
+				if !more {
+					return nil
+				}
+			}
+		case "tenants":
+			if err := p.expect('['); err != nil {
+				return err
+			}
+			p.ws()
+			if p.i < len(p.b) && p.b[p.i] == ']' {
+				p.i++
+				return nil
+			}
+			for {
+				var td TenantDump
+				if err := p.expect('['); err != nil {
+					return err
+				}
+				td.SFC = &SFCSpec{}
+				if err := p.sfcSpec(td.SFC); err != nil {
+					return err
+				}
+				if err := p.expect(','); err != nil {
+					return err
+				}
+				var err error
+				if td.Placements, err = p.placements(); err != nil {
+					return err
+				}
+				if err = p.expect(','); err != nil {
+					return err
+				}
+				if td.Passes, err = p.int(); err != nil {
+					return err
+				}
+				if err = p.expect(']'); err != nil {
+					return err
+				}
+				d.Tenants = append(d.Tenants, td)
+				more, err := p.sep(']')
+				if err != nil {
+					return err
+				}
+				if !more {
+					return nil
+				}
+			}
+		}
+		return p.skipValue()
+	})
+}
+
 // UnmarshalJSON implements json.Unmarshaler without reflection (client
 // wire decoder).
 func (r *Response) UnmarshalJSON(b []byte) error {
@@ -1109,6 +1285,12 @@ func (r *Response) UnmarshalJSON(b []byte) error {
 			}
 			r.Inject = &InjectResult{}
 			return p.inject(r.Inject)
+		case "state":
+			if p.null() {
+				return nil
+			}
+			r.State = &StateDump{}
+			return p.stateDump(r.State)
 		case "results":
 			if err := p.expect('['); err != nil {
 				return err

@@ -1,0 +1,106 @@
+package p4rt
+
+import (
+	"reflect"
+	"testing"
+
+	"sfp/internal/nf"
+)
+
+func TestDumpStateRoundTrip(t *testing.T) {
+	c, v, cleanup := startServer(t)
+	defer cleanup()
+
+	// Empty switch dumps empty, not an error.
+	d, err := c.DumpState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Physical) != 0 || len(d.Tenants) != 0 {
+		t.Fatalf("empty switch dumped %+v", d)
+	}
+
+	if err := c.InstallPhysical(0, nf.Firewall, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallPhysical(1, nf.Router, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Allocate(wireSFC(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Allocate(wireSFC(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = c.DumpState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Physical) != 2 {
+		t.Fatalf("physical = %+v", d.Physical)
+	}
+	if d.Physical[0].Stage != 0 || d.Physical[0].Type != nf.Firewall.String() || d.Physical[0].Capacity != 100 {
+		t.Fatalf("physical[0] = %+v", d.Physical[0])
+	}
+	if d.Physical[0].Used == 0 {
+		t.Fatal("firewall table reports zero used entries after allocations")
+	}
+	if len(d.Tenants) != 2 || d.Tenants[0].SFC.Tenant != 5 || d.Tenants[1].SFC.Tenant != 9 {
+		t.Fatalf("tenants = %+v", d.Tenants)
+	}
+	if len(d.Tenants[0].Placements) != 2 || d.Tenants[0].Passes != 1 {
+		t.Fatalf("tenant 5 = %+v", d.Tenants[0])
+	}
+
+	// The wire dump decodes back to the switch's own export, and restoring
+	// it into a fresh switch reproduces that export exactly — the property
+	// reconciliation and cold restore both rely on.
+	st, err := d.ToState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Physical, v.ExportState().Physical) {
+		t.Fatalf("decoded physical != exported:\n%+v\n%+v", st.Physical, v.ExportState().Physical)
+	}
+	if len(st.Tenants) != 2 || st.Tenants[0].Spec.Tenant != 5 {
+		t.Fatalf("decoded tenants = %+v", st.Tenants)
+	}
+}
+
+func TestDumpStateCodec(t *testing.T) {
+	resp := &Response{OK: true, State: &StateDump{
+		Physical: []PhysicalDump{{Stage: 2, Type: "firewall", Capacity: 64, Used: 3}},
+		Tenants: []TenantDump{{
+			SFC: &SFCSpec{Tenant: 7, BandwidthGbps: 2.5, NFs: []NFSpec{{
+				Type:  "router",
+				Rules: []RuleSpec{{Priority: 1, Matches: []MatchSpec{{Value: 4, PrefixLen: 8}}, Action: "fwd", Params: []uint64{9}}},
+			}}},
+			Placements: []PlacementSpec{{NFIndex: 0, Type: "router", Stage: 1, Pass: 0}},
+			Passes:     1,
+		}},
+	}}
+	b, err := resp.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := got.UnmarshalJSON(b); err != nil {
+		t.Fatalf("decode %s: %v", b, err)
+	}
+	if !reflect.DeepEqual(&got, resp) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &got, resp)
+	}
+}
+
+// fakeTarget lacks StateDumper; dump_state must fail cleanly, not panic.
+type noDumpTarget struct{ Target }
+
+func TestDumpStateUnsupportedTarget(t *testing.T) {
+	// A bare Target without the optional interface.
+	srv := NewServer(noDumpTarget{})
+	resp := srv.dispatch(&Request{Type: MsgDumpState})
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("dispatch = %+v, want unsupported error", resp)
+	}
+}

@@ -1,0 +1,159 @@
+package p4rt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fuzz targets assert two properties of the hand-rolled jscan
+// decoders: they never panic on arbitrary bytes (hostile peers control
+// the full frame body), and a successfully decoded message canonicalizes
+// — encode(decode(b)) is a fixed point, so decode(encode(x)) re-encodes
+// to identical bytes. Seed corpora live in testdata/fuzz/<target>/.
+
+func fuzzSeedsRequest(f *testing.F) {
+	seeds := []*Request{
+		{Type: MsgPing, ID: 1, Client: 42},
+		{Type: MsgInstallPhysical, ID: 2, Client: 42, Stage: 3, NFType: "firewall", Capacity: 128},
+		{Type: MsgAllocateAt, ID: 3, Client: 42,
+			SFC: &SFCSpec{Tenant: 7, BandwidthGbps: 2.5, NFs: []NFSpec{{
+				Type: "router",
+				Rules: []RuleSpec{{
+					Priority: 5,
+					Matches:  []MatchSpec{{Value: 10, Mask: 255}, {Lo: 1, Hi: 65535}},
+					Action:   "fwd", Params: []uint64{9, 1 << 40},
+				}},
+			}}},
+			Placements: []PlacementSpec{{NFIndex: 0, Type: "router", Stage: 1, Pass: 0}},
+		},
+		{Type: MsgDeallocate, ID: 4, Client: 42, Tenant: 99},
+		{Type: MsgInject, ID: 5, Client: 42, Wire: []byte{0xde, 0xad, 0xbe, 0xef}, NowNs: 123.5},
+		{Type: MsgBatch, ID: 6, Client: 42, Ops: []BatchOp{
+			OpInstallPhysical(0, 0, 64),
+			{Type: MsgAllocateAt, SFC: &SFCSpec{Tenant: 8, NFs: []NFSpec{{Type: "lb"}}},
+				Placements: []PlacementSpec{{Type: "lb", Stage: 2, Pass: 1}}},
+			OpDeallocate(3),
+		}},
+	}
+	for _, r := range seeds {
+		f.Add(r.appendJSON(nil))
+	}
+	// Adversarial shapes: unknown fields, escapes, duplicate keys,
+	// truncations, and deep nesting (the stack-overflow regression).
+	f.Add([]byte(`{"type":"ping","future_field":{"a":[1,2,{"b":null}]}}`))
+	f.Add([]byte(`{"type":"ping","nf_type":"\n\\\""}`))
+	f.Add([]byte(`{"type":"ping","type":"stats"}`))
+	f.Add([]byte(`{"type":"allocate","sfc":[1,2.5,[["fw",[[0,[[1,2,3,4,5]],"a",[1]]]]]]`))
+	f.Add([]byte(`{"x":` + deepNest(200) + `}`))
+}
+
+func deepNest(n int) string {
+	return string(bytes.Repeat([]byte{'['}, n)) + string(bytes.Repeat([]byte{']'}, n))
+}
+
+func FuzzRequestDecode(f *testing.F) {
+	fuzzSeedsRequest(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var r Request
+		if err := r.UnmarshalJSON(b); err != nil {
+			return
+		}
+		enc1 := r.appendJSON(nil)
+		var r2 Request
+		if err := r2.UnmarshalJSON(enc1); err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v\ninput: %q\ncanonical: %q", err, b, enc1)
+		}
+		if enc2 := r2.appendJSON(nil); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical form not a fixed point:\n first: %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}
+
+func fuzzSeedsResponse(f *testing.F) {
+	seeds := []*Response{
+		{OK: true, ID: 1},
+		{Error: "boom", ID: 2, Transient: true},
+		{OK: true, ID: 3, Placements: []PlacementSpec{{NFIndex: 1, Type: "fw", Stage: 0, Pass: 2}}, Passes: 3},
+		{OK: true, ID: 4, Layout: [][]string{{"fw", "router"}, {}, {"lb"}}},
+		{OK: true, ID: 5, Stats: &Stats{Stages: 12, BlocksUsed: 3, EntriesUsed: 77, BandwidthGbps: 40.25, Tenants: 2, Processed: 9, Recirculated: 1}},
+		{OK: true, ID: 6, Inject: &InjectResult{LatencyNs: 800, Passes: 2, EgressPort: 4, TablesApplied: 6, Wire: []byte{1, 2, 3}}},
+		{OK: true, ID: 7, Results: []BatchResult{{OK: true, Passes: 1}, {OK: false, Error: "nope"}}},
+		{OK: true, ID: 8, State: &StateDump{
+			Physical: []PhysicalDump{{Stage: 0, Type: "fw", Capacity: 100, Used: 4}},
+			Tenants: []TenantDump{{
+				SFC:        &SFCSpec{Tenant: 5, BandwidthGbps: 10, NFs: []NFSpec{{Type: "fw", Rules: []RuleSpec{{Matches: []MatchSpec{{Value: 1}}, Action: "permit"}}}}},
+				Placements: []PlacementSpec{{Type: "fw", Stage: 0}},
+				Passes:     1,
+			}},
+		}},
+	}
+	for _, r := range seeds {
+		f.Add(r.appendJSON(nil))
+	}
+	f.Add([]byte(`{"ok":true,"state":{"unknown":[[[[{"deep":1}]]]],"tenants":[]}}`))
+	f.Add([]byte(`{"ok":true,"state":null,"stats":null,"inject":null}`))
+	f.Add([]byte(`{"x":` + deepNest(5000) + `}`))
+}
+
+func FuzzResponseDecode(f *testing.F) {
+	fuzzSeedsResponse(f)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var r Response
+		if err := r.UnmarshalJSON(b); err != nil {
+			return
+		}
+		enc1 := r.appendJSON(nil)
+		var r2 Response
+		if err := r2.UnmarshalJSON(enc1); err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v\ninput: %q\ncanonical: %q", err, b, enc1)
+		}
+		if enc2 := r2.appendJSON(nil); !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical form not a fixed point:\n first: %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}
+
+func FuzzSFCSpecDecode(f *testing.F) {
+	f.Add([]byte(`[7,2.5,[["router",[[5,[[10,255,0,0,0],[0,0,0,1,65535]],"fwd",[9]]]]]]`))
+	f.Add([]byte(`[1,0,[]]`))
+	f.Add([]byte(`[4294967295,1e300,[["t",[]]]]`))
+	f.Add([]byte(`[1,2,[["a",[[1,` + deepNest(100) + `,"x",[]]]]]]`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var s SFCSpec
+		if err := s.UnmarshalJSON(b); err != nil {
+			return
+		}
+		enc1, _ := s.MarshalJSON()
+		var s2 SFCSpec
+		if err := s2.UnmarshalJSON(enc1); err != nil {
+			t.Fatalf("re-decode of canonical form failed: %v\ninput: %q\ncanonical: %q", err, b, enc1)
+		}
+		enc2, _ := s2.MarshalJSON()
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical form not a fixed point:\n first: %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}
+
+// TestSkipValueDepthGuard pins the stack-overflow fix: a frame of nothing
+// but nested arrays inside an unknown field must fail with a depth error,
+// not crash the process.
+func TestSkipValueDepthGuard(t *testing.T) {
+	var r Request
+	err := r.UnmarshalJSON([]byte(`{"unknown":` + deepNest(100000) + `}`))
+	if err == nil {
+		t.Fatal("deeply nested unknown field accepted")
+	}
+	// Mixed nesting through objects too.
+	deepObj := ""
+	for i := 0; i < 1000; i++ {
+		deepObj += `{"a":`
+	}
+	deepObj += "1"
+	for i := 0; i < 1000; i++ {
+		deepObj += "}"
+	}
+	if err := r.UnmarshalJSON([]byte(`{"unknown":` + deepObj + `}`)); err == nil {
+		t.Fatal("deeply nested unknown object accepted")
+	}
+}

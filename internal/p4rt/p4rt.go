@@ -35,6 +35,10 @@ const (
 	MsgDeallocate      MsgType = "deallocate"
 	MsgLayout          MsgType = "layout"
 	MsgStats           MsgType = "stats"
+	// MsgDumpState reads back the switch's full installed configuration
+	// (physical NFs + tenant allocations) for controller-side
+	// reconciliation. Read-only: same retry class as Layout/Stats.
+	MsgDumpState MsgType = "dump_state"
 	MsgPing            MsgType = "ping"
 	MsgInject          MsgType = "inject"
 	// MsgBatch carries an ordered list of mutating sub-ops executed
@@ -137,6 +141,30 @@ type Response struct {
 	// Batch: per-sub-op outcomes, one per Request.Ops entry, present only
 	// when the whole batch applied (OK). On failure nothing was applied.
 	Results []BatchResult `json:"results,omitempty"`
+	// DumpState: the switch's full installed configuration.
+	State *StateDump `json:"state,omitempty"`
+}
+
+// StateDump is the wire form of a switch's complete installed
+// configuration: what the controller reconciles its intent against.
+type StateDump struct {
+	Physical []PhysicalDump `json:"physical,omitempty"`
+	Tenants  []TenantDump   `json:"tenants,omitempty"`
+}
+
+// PhysicalDump is the wire form of one installed physical NF.
+type PhysicalDump struct {
+	Stage    int    `json:"stage"`
+	Type     string `json:"type"`
+	Capacity int    `json:"capacity"`
+	Used     int    `json:"used"`
+}
+
+// TenantDump is the wire form of one live tenant allocation.
+type TenantDump struct {
+	SFC        *SFCSpec        `json:"sfc"`
+	Placements []PlacementSpec `json:"placements"`
+	Passes     int             `json:"passes,omitempty"`
 }
 
 // InjectResult reports what the pipeline did to an injected packet.
@@ -264,6 +292,58 @@ func fromPlacements(pls []vswitch.Placement) []PlacementSpec {
 		out[i] = PlacementSpec{NFIndex: p.NFIndex, Type: p.Type.String(), Stage: p.Stage, Pass: p.Pass}
 	}
 	return out
+}
+
+// FromState converts an exported switch state to the wire form.
+func FromState(st *vswitch.State) *StateDump {
+	d := &StateDump{}
+	for _, p := range st.Physical {
+		d.Physical = append(d.Physical, PhysicalDump{
+			Stage: p.Stage, Type: p.Type.String(), Capacity: p.Capacity, Used: p.Used,
+		})
+	}
+	for _, t := range st.Tenants {
+		d.Tenants = append(d.Tenants, TenantDump{
+			SFC:        FromSFC(t.Spec),
+			Placements: fromPlacements(t.Placements),
+			Passes:     t.Passes,
+		})
+	}
+	return d
+}
+
+// ToState converts a wire state dump back to the vswitch form.
+func (d *StateDump) ToState() (*vswitch.State, error) {
+	st := &vswitch.State{}
+	for i, p := range d.Physical {
+		t, err := nf.ParseType(p.Type)
+		if err != nil {
+			return nil, fmt.Errorf("p4rt: state physical %d: %w", i, err)
+		}
+		st.Physical = append(st.Physical, vswitch.PhysicalState{
+			Stage: p.Stage, Type: t, Capacity: p.Capacity, Used: p.Used,
+		})
+	}
+	for i, td := range d.Tenants {
+		if td.SFC == nil {
+			return nil, fmt.Errorf("p4rt: state tenant %d: missing sfc", i)
+		}
+		sfc, err := td.SFC.ToSFC()
+		if err != nil {
+			return nil, fmt.Errorf("p4rt: state tenant %d: %w", i, err)
+		}
+		pls, err := toPlacements(td.Placements)
+		if err != nil {
+			return nil, fmt.Errorf("p4rt: state tenant %d: %w", i, err)
+		}
+		st.Tenants = append(st.Tenants, vswitch.TenantState{
+			Spec:          sfc,
+			Placements:    pls,
+			Passes:        td.Passes,
+			BandwidthGbps: sfc.BandwidthGbps,
+		})
+	}
+	return st, nil
 }
 
 // marshal encodes any message as one JSON frame.

@@ -78,6 +78,13 @@ type TenantSnapshotter interface {
 	TenantSnapshot(tenant uint32) (restore func() error, err error)
 }
 
+// StateDumper is an optional Target extension: read back the switch's
+// full installed configuration for controller-side reconciliation.
+// Targets without it reject MsgDumpState.
+type StateDumper interface {
+	DumpState() (*StateDump, error)
+}
+
 // BatchAllocItem pairs one allocate_at sub-op's chain with its placements.
 type BatchAllocItem struct {
 	SFC        *SFCSpec
@@ -316,6 +323,16 @@ func (s *Server) execute(req *Request) Response {
 	case MsgStats:
 		st := s.target.Stats()
 		return Response{OK: true, Stats: &st}
+	case MsgDumpState:
+		dumper, ok := s.target.(StateDumper)
+		if !ok {
+			return errResp(errors.New("dump_state: target does not support state read-back"))
+		}
+		st, err := dumper.DumpState()
+		if err != nil {
+			return errResp(err)
+		}
+		return Response{OK: true, State: st}
 	case MsgInject:
 		res, err := s.target.Inject(req.Wire, req.NowNs)
 		if err != nil {

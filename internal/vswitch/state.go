@@ -1,0 +1,100 @@
+package vswitch
+
+import (
+	"fmt"
+	"sort"
+
+	"sfp/internal/nf"
+)
+
+// PhysicalState describes one installed physical NF for state export.
+type PhysicalState struct {
+	Stage    int
+	Type     nf.Type
+	Capacity int
+	// Used counts the rules currently installed in the NF's table. It is
+	// derived state: Restore does not set it, installing tenant rules does.
+	Used int
+}
+
+// TenantState describes one live allocation for state export.
+type TenantState struct {
+	Spec          *SFC
+	Placements    []Placement
+	Passes        int
+	BandwidthGbps float64
+}
+
+// State is a complete, deterministic description of a switch's installed
+// configuration: every physical NF and every tenant allocation. Two
+// switches that went through equivalent histories export equal States
+// (reflect.DeepEqual), which is what the crash-recovery convergence suite
+// asserts.
+type State struct {
+	Physical []PhysicalState
+	Tenants  []TenantState
+}
+
+// ExportState captures the switch's installed configuration in canonical
+// order: physical NFs by (stage, type), tenants by ascending ID.
+func (v *VSwitch) ExportState() *State {
+	st := &State{}
+	for s, nfs := range v.physical {
+		for _, p := range nfs {
+			st.Physical = append(st.Physical, PhysicalState{
+				Stage:    s,
+				Type:     p.Type,
+				Capacity: p.Table.Capacity,
+				Used:     p.Table.Used(),
+			})
+		}
+	}
+	sort.Slice(st.Physical, func(i, j int) bool {
+		if st.Physical[i].Stage != st.Physical[j].Stage {
+			return st.Physical[i].Stage < st.Physical[j].Stage
+		}
+		return st.Physical[i].Type < st.Physical[j].Type
+	})
+	ids := make([]uint32, 0, len(v.byTenant))
+	for id := range v.byTenant {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := v.byTenant[id]
+		st.Tenants = append(st.Tenants, TenantState{
+			Spec:          a.Spec,
+			Placements:    append([]Placement(nil), a.Placements...),
+			Passes:        a.Passes,
+			BandwidthGbps: a.BandwidthGbps,
+		})
+	}
+	return st
+}
+
+// Restore replays an exported State into an empty switch: physical NFs
+// are installed first, then every tenant allocation at its recorded
+// placements. The switch must be freshly constructed (no physical NFs, no
+// tenants); on error the switch is left partially restored and should be
+// discarded.
+func (v *VSwitch) Restore(st *State) error {
+	if len(v.byTenant) != 0 {
+		return fmt.Errorf("vswitch: restore into non-empty switch (%d tenants)", len(v.byTenant))
+	}
+	for s := range v.physical {
+		if len(v.physical[s]) != 0 {
+			return fmt.Errorf("vswitch: restore into non-empty switch (stage %d has NFs)", s)
+		}
+	}
+	for _, p := range st.Physical {
+		if _, err := v.InstallPhysicalNF(p.Stage, p.Type, p.Capacity); err != nil {
+			return fmt.Errorf("vswitch: restore: %w", err)
+		}
+	}
+	for _, t := range st.Tenants {
+		if _, err := v.AllocateAt(t.Spec, t.Placements); err != nil {
+			return fmt.Errorf("vswitch: restore tenant %d: %w", t.Spec.Tenant, err)
+		}
+	}
+	return nil
+}

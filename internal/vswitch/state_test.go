@@ -1,0 +1,50 @@
+package vswitch
+
+import (
+	"reflect"
+	"testing"
+
+	"sfp/internal/nf"
+	"sfp/internal/pipeline"
+)
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	v := fig3Switch(t)
+	s1 := &SFC{Tenant: 1, BandwidthGbps: 10, NFs: []*nf.Config{classAll(1), permitAll()}}
+	s2 := &SFC{Tenant: 2, BandwidthGbps: 5, NFs: []*nf.Config{permitAll(), classAll(2)}}
+	if _, err := v.Allocate(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Allocate(s2); err != nil {
+		t.Fatal(err)
+	}
+
+	st := v.ExportState()
+	if len(st.Physical) != 3 || len(st.Tenants) != 2 {
+		t.Fatalf("export = %d physical, %d tenants", len(st.Physical), len(st.Tenants))
+	}
+	if st.Tenants[0].Spec.Tenant != 1 || st.Tenants[1].Spec.Tenant != 2 {
+		t.Fatalf("tenant order = %d, %d", st.Tenants[0].Spec.Tenant, st.Tenants[1].Spec.Tenant)
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.Stages = 3
+	cfg.MaxPasses = 3
+	v2 := New(pipeline.New(cfg))
+	if err := v2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v2.ExportState(), st) {
+		t.Fatalf("restored export differs:\n got %+v\nwant %+v", v2.ExportState(), st)
+	}
+	if v2.BandwidthUsed() != v.BandwidthUsed() {
+		t.Fatalf("bandwidth %v != %v", v2.BandwidthUsed(), v.BandwidthUsed())
+	}
+}
+
+func TestRestoreRefusesNonEmpty(t *testing.T) {
+	v := fig3Switch(t)
+	if err := v.Restore(&State{}); err == nil {
+		t.Fatal("restore into switch with physical NFs accepted")
+	}
+}

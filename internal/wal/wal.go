@@ -1,0 +1,347 @@
+// Package wal provides the controller's write-ahead journal: a
+// length-prefixed, CRC-checked, fsync-on-commit record log paired with
+// generation-numbered snapshots. The controller appends an intent record
+// and commits (fsyncs) it *before* touching the southbound, so that after
+// a crash the journal is always at least as new as the switch. Torn or
+// truncated tail records — the normal residue of a crash mid-write — are
+// detected by the CRC/length framing and discarded, never fatal; anything
+// before the torn tail is durable and replayed.
+//
+// On-disk layout inside the state directory:
+//
+//	snap-<gen>   snapshot file: magic "SFPSNAP1", then one framed record
+//	wal-<gen>    journal of framed records appended since snap-<gen>
+//
+// Each framed record is [4-byte big-endian length][4-byte CRC-32C of the
+// body][body]. Rotate writes snap-<gen+1> atomically (tmp + rename +
+// directory fsync) before switching appends to wal-<gen+1> and deleting
+// the old generation, so a crash at any point leaves one recoverable
+// generation on disk.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	snapMagic = "SFPSNAP1"
+	// maxRecord bounds a single journal record. Matches the p4rt frame
+	// limit; anything larger is treated as corruption.
+	maxRecord = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Recovery is what Open found on disk: the newest intact snapshot (nil if
+// none), the journal records appended after it, and whether a torn tail
+// was discarded.
+type Recovery struct {
+	// Snapshot is the body of the newest valid snapshot, nil if the
+	// directory holds no (intact) snapshot.
+	Snapshot []byte
+	// Records are the journal records after the snapshot, in append
+	// order, up to but excluding any torn tail.
+	Records [][]byte
+	// TornTail reports that a torn/truncated/corrupt tail record was
+	// found and discarded during replay.
+	TornTail bool
+	// Gen is the recovered generation number.
+	Gen uint64
+}
+
+// Log is an open write-ahead journal. Append stages records in memory;
+// Commit writes and fsyncs them as one durable unit. Not safe for
+// concurrent use; the controller serializes mutations already.
+type Log struct {
+	dir    string
+	dirf   *os.File
+	f      *os.File
+	gen    uint64
+	staged []byte
+	buf    []byte
+}
+
+// Open opens (creating if needed) the journal in dir and replays whatever
+// previous state it holds. The returned Log appends to the recovered
+// generation's journal; the Recovery carries the replayable state.
+func Open(dir string) (*Log, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	dirf, err := os.Open(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	rec, err := recoverDir(dir)
+	if err != nil {
+		dirf.Close()
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName(rec.Gen)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		dirf.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Log{dir: dir, dirf: dirf, f: f, gen: rec.Gen}, rec, nil
+}
+
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x", gen) }
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%016x", gen) }
+
+// recoverDir scans dir for the newest generation with an intact snapshot
+// (or generation 0 with no snapshot), replays its journal, and truncates
+// any torn tail so subsequent appends extend a clean file.
+func recoverDir(dir string) (*Recovery, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var snapGens, walGens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && !strings.HasSuffix(name, ".tmp"):
+			if g, err := strconv.ParseUint(strings.TrimPrefix(name, "snap-"), 16, 64); err == nil {
+				snapGens = append(snapGens, g)
+			}
+		case strings.HasPrefix(name, "wal-"):
+			if g, err := strconv.ParseUint(strings.TrimPrefix(name, "wal-"), 16, 64); err == nil {
+				walGens = append(walGens, g)
+			}
+		}
+	}
+	sort.Slice(snapGens, func(i, j int) bool { return snapGens[i] > snapGens[j] })
+	rec := &Recovery{}
+	for _, g := range snapGens {
+		body, err := readSnapshot(filepath.Join(dir, snapName(g)))
+		if err != nil {
+			// A corrupt snapshot (torn rename window, bad CRC) is
+			// skipped; an older intact generation still recovers.
+			rec.TornTail = true
+			continue
+		}
+		rec.Snapshot = body
+		rec.Gen = g
+		break
+	}
+	if rec.Snapshot == nil {
+		// No usable snapshot: replay the oldest journal from genesis.
+		rec.Gen = 0
+		if len(walGens) > 0 {
+			rec.Gen = walGens[0]
+			for _, g := range walGens {
+				if g < rec.Gen {
+					rec.Gen = g
+				}
+			}
+		}
+	}
+	records, torn, err := replayJournal(filepath.Join(dir, walName(rec.Gen)))
+	if err != nil {
+		return nil, err
+	}
+	rec.Records = records
+	rec.TornTail = rec.TornTail || torn
+	return rec, nil
+}
+
+// readSnapshot validates and returns the body of one snapshot file.
+func readSnapshot(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+8 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, errors.New("wal: bad snapshot header")
+	}
+	body, rest, err := decodeFrame(data[len(snapMagic):])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("wal: trailing bytes after snapshot record")
+	}
+	return body, nil
+}
+
+// replayJournal reads every intact record from path. A short, torn, or
+// CRC-corrupt tail stops replay; the file is truncated back to the last
+// good record so the reopened log appends cleanly. A missing file is an
+// empty journal.
+func replayJournal(path string) ([][]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("wal: %w", err)
+	}
+	var records [][]byte
+	good := 0
+	rest := data
+	for len(rest) > 0 {
+		body, next, err := decodeFrame(rest)
+		if err != nil {
+			// Torn tail: keep what replayed, truncate the rest.
+			if terr := os.Truncate(path, int64(good)); terr != nil {
+				return nil, true, fmt.Errorf("wal: truncating torn tail: %w", terr)
+			}
+			return records, true, nil
+		}
+		records = append(records, body)
+		good += len(rest) - len(next)
+		rest = next
+	}
+	return records, false, nil
+}
+
+// decodeFrame parses one [len][crc][body] frame, returning the body and
+// the remaining bytes.
+func decodeFrame(b []byte) (body, rest []byte, err error) {
+	if len(b) < 8 {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > maxRecord {
+		return nil, nil, fmt.Errorf("wal: record length %d exceeds limit", n)
+	}
+	sum := binary.BigEndian.Uint32(b[4:])
+	if len(b) < 8+int(n) {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	body = b[8 : 8+n]
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, nil, errors.New("wal: record CRC mismatch")
+	}
+	return body, b[8+n:], nil
+}
+
+func appendFrame(dst, body []byte) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// Append stages one record. It becomes durable at the next Commit; several
+// records staged together commit under a single fsync.
+func (l *Log) Append(rec []byte) error {
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if len(rec) > maxRecord {
+		return fmt.Errorf("wal: record length %d exceeds limit", len(rec))
+	}
+	l.staged = appendFrame(l.staged, rec)
+	return nil
+}
+
+// Commit writes all staged records and fsyncs the journal. On return the
+// records survive a crash of the process or the machine.
+func (l *Log) Commit() error {
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if len(l.staged) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.staged); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.staged = l.staged[:0]
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// AppendCommit appends one record and commits it immediately.
+func (l *Log) AppendCommit(rec []byte) error {
+	if err := l.Append(rec); err != nil {
+		return err
+	}
+	return l.Commit()
+}
+
+// Gen returns the current generation number.
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Rotate makes snapshot the new durable baseline: it writes snap-<gen+1>
+// atomically, fsyncs it and the directory, switches appends to a fresh
+// wal-<gen+1>, and only then removes the previous generation's files.
+// A crash anywhere inside Rotate leaves either the old generation intact
+// or the new one fully durable.
+func (l *Log) Rotate(snapshot []byte) error {
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if len(l.staged) > 0 {
+		if err := l.Commit(); err != nil {
+			return err
+		}
+	}
+	next := l.gen + 1
+	tmp := filepath.Join(l.dir, snapName(next)+".tmp")
+	l.buf = appendFrame(append(l.buf[:0], snapMagic...), snapshot)
+	sf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := sf.Write(l.buf); err != nil {
+		sf.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := sf.Sync(); err != nil {
+		sf.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := sf.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(next))); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.dirf.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	nf, err := os.OpenFile(filepath.Join(l.dir, walName(next)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	old := l.f
+	oldGen := l.gen
+	l.f, l.gen = nf, next
+	old.Close()
+	// The new generation is durable; the old one is now garbage. Removal
+	// is best-effort — leftovers are ignored by recovery, which always
+	// prefers the newest intact snapshot.
+	os.Remove(filepath.Join(l.dir, walName(oldGen)))
+	os.Remove(filepath.Join(l.dir, snapName(oldGen)))
+	return l.dirf.Sync()
+}
+
+// Close flushes staged records and closes the journal.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.Commit()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if cerr := l.dirf.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,322 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func recordsEqual(got [][]byte, want ...string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if string(got[i]) != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendCommitReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir)
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.TornTail {
+		t.Fatalf("fresh dir recovery not empty: %+v", rec)
+	}
+	if err := l.AppendCommit([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := mustOpen(t, dir)
+	defer l2.Close()
+	if !recordsEqual(rec2.Records, "one", "two", "three") {
+		t.Fatalf("replayed records = %q", rec2.Records)
+	}
+	if rec2.TornTail {
+		t.Fatal("unexpected torn tail")
+	}
+}
+
+func TestRotateAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := l.AppendCommit([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate([]byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Gen() != 1 {
+		t.Fatalf("gen after rotate = %d, want 1", l.Gen())
+	}
+	if err := l.AppendCommit([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Old generation files are gone.
+	if _, err := os.Stat(filepath.Join(dir, walName(0))); !os.IsNotExist(err) {
+		t.Fatalf("wal-0 still present: %v", err)
+	}
+
+	l2, rec := mustOpen(t, dir)
+	defer l2.Close()
+	if string(rec.Snapshot) != "snapshot-state" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if !recordsEqual(rec.Records, "post") {
+		t.Fatalf("records = %q", rec.Records)
+	}
+	if rec.Gen != 1 {
+		t.Fatalf("gen = %d, want 1", rec.Gen)
+	}
+}
+
+// TestCorruption is the satellite table: truncated tail, flipped CRC
+// byte, and empty journal must all recover to the last durable state
+// rather than fail.
+func TestCorruption(t *testing.T) {
+	// Each case sets up a directory holding a snapshot ("base") and a
+	// journal of two records ("r1", "r2"), then mangles the files.
+	setup := func(t *testing.T) string {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir)
+		if err := l.AppendCommit([]byte("seed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Rotate([]byte("base")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendCommit([]byte("r1")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendCommit([]byte("r2")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	walPath := func(dir string) string { return filepath.Join(dir, walName(1)) }
+
+	cases := []struct {
+		name        string
+		mangle      func(t *testing.T, dir string)
+		wantRecords []string
+		wantTorn    bool
+		wantSnap    string
+	}{
+		{
+			name:        "clean",
+			mangle:      func(t *testing.T, dir string) {},
+			wantRecords: []string{"r1", "r2"},
+			wantSnap:    "base",
+		},
+		{
+			name: "truncated tail mid-record",
+			mangle: func(t *testing.T, dir string) {
+				data, err := os.ReadFile(walPath(dir))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Chop into the last record's body.
+				if err := os.WriteFile(walPath(dir), data[:len(data)-1], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: []string{"r1"},
+			wantTorn:    true,
+			wantSnap:    "base",
+		},
+		{
+			name: "truncated tail mid-header",
+			mangle: func(t *testing.T, dir string) {
+				data, err := os.ReadFile(walPath(dir))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Leave only 3 bytes of the second record's header.
+				first := 8 + len("r1")
+				if err := os.WriteFile(walPath(dir), data[:first+3], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: []string{"r1"},
+			wantTorn:    true,
+			wantSnap:    "base",
+		},
+		{
+			name: "flipped CRC byte in tail record",
+			mangle: func(t *testing.T, dir string) {
+				data, err := os.ReadFile(walPath(dir))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Flip a byte inside the second record's stored CRC.
+				first := 8 + len("r1")
+				data[first+5] ^= 0xff
+				if err := os.WriteFile(walPath(dir), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: []string{"r1"},
+			wantTorn:    true,
+			wantSnap:    "base",
+		},
+		{
+			name: "flipped body byte in first record drops everything after",
+			mangle: func(t *testing.T, dir string) {
+				data, err := os.ReadFile(walPath(dir))
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[8] ^= 0xff // first byte of "r1"
+				if err := os.WriteFile(walPath(dir), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: nil,
+			wantTorn:    true,
+			wantSnap:    "base",
+		},
+		{
+			name: "empty journal",
+			mangle: func(t *testing.T, dir string) {
+				if err := os.Truncate(walPath(dir), 0); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: nil,
+			wantSnap:    "base",
+		},
+		{
+			name: "missing journal",
+			mangle: func(t *testing.T, dir string) {
+				if err := os.Remove(walPath(dir)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: nil,
+			wantSnap:    "base",
+		},
+		{
+			name: "corrupt snapshot falls back to older generation",
+			mangle: func(t *testing.T, dir string) {
+				// Rotate again so gen 2 exists, then corrupt its
+				// snapshot; recovery must fall back to gen 1... but
+				// rotate deletes gen 1. Simulate the torn-rotate window
+				// instead: write a garbage snap-2 alongside gen 1.
+				if err := os.WriteFile(filepath.Join(dir, snapName(2)), []byte("garbage"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantRecords: []string{"r1", "r2"},
+			wantTorn:    true,
+			wantSnap:    "base",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := setup(t)
+			tc.mangle(t, dir)
+			l, rec := mustOpen(t, dir)
+			defer l.Close()
+			if string(rec.Snapshot) != tc.wantSnap {
+				t.Errorf("snapshot = %q, want %q", rec.Snapshot, tc.wantSnap)
+			}
+			if !recordsEqual(rec.Records, tc.wantRecords...) {
+				t.Errorf("records = %q, want %q", rec.Records, tc.wantRecords)
+			}
+			if rec.TornTail != tc.wantTorn {
+				t.Errorf("torn = %v, want %v", rec.TornTail, tc.wantTorn)
+			}
+			// The reopened log must be appendable after repair and the
+			// new record must survive another cycle.
+			if err := l.AppendCommit([]byte("after")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, rec2 := mustOpen(t, dir)
+			defer l2.Close()
+			want := append(append([]string(nil), tc.wantRecords...), "after")
+			if !recordsEqual(rec2.Records, want...) {
+				t.Errorf("post-repair records = %q, want %q", rec2.Records, want)
+			}
+		})
+	}
+}
+
+func TestTornTailTruncatedOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	if err := l.AppendCommit([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, walName(0))
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a torn frame: a header promising more bytes than exist.
+	torn := append(append([]byte(nil), clean...), 0, 0, 0, 99, 1, 2, 3, 4, 'x')
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := mustOpen(t, dir)
+	defer l2.Close()
+	if !rec.TornTail || !recordsEqual(rec.Records, "keep") {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	// The torn bytes must be physically gone so future appends don't
+	// interleave with garbage.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, clean) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", len(after), len(clean))
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir)
+	defer l.Close()
+	if err := l.Append(make([]byte, maxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
