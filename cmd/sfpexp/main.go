@@ -72,6 +72,9 @@ func main() {
 		{"latency-load", func() (*experiments.Table, error) { return experiments.LatencyUnderLoad() }},
 		// Not part of "all": a throughput measurement, not a paper figure.
 		{"churn", func() (*experiments.Table, error) { return experiments.Churn(sc, *batch) }},
+		// Not part of "all": the replay pps-vs-workers curve (also gated in
+		// scripts/check.sh bench as BENCH_dataplane.json).
+		{"scaling", func() (*experiments.Table, error) { return experiments.DataplaneScaling(0, nil) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -91,7 +94,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn)\n", *figs)
+		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling)\n", *figs)
 		os.Exit(2)
 	}
 }

@@ -36,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "flow RNG seed")
 		timeout  = flag.Duration("timeout", 5*time.Second, "dial timeout")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel injection connections (1 reproduces the sequential numbers bit-for-bit)")
+		pipeln   = flag.Bool("pipeline", false, "pipeline injections asynchronously on each connection (fills the client's in-flight window instead of one synchronous RPC per packet)")
 		arrivals = flag.Int("arrivals", 0, "provisioning mode: drive this many tenant arrivals (then departures) through the southbound API and report arrivals/sec instead of injecting traffic")
 		batch    = flag.Int("batch", 0, "sub-ops per MsgBatch frame in provisioning mode, pipelined on one connection (0 = one synchronous RPC per op)")
 	)
@@ -100,7 +101,7 @@ func main() {
 			p.Eth.EtherType = packet.EtherTypeVLAN
 			frames[i] = packet.Deparse(p)
 		}
-		lats, passes, drops, err := inject(conns, frames)
+		lats, passes, drops, err := inject(conns, frames, *pipeln)
 		if err != nil {
 			fatal(err)
 		}
@@ -203,7 +204,12 @@ func provision(cli *p4rt.Client, base uint32, vip uint32, n, batch int) error {
 // inject replays the frames across the worker connections (contiguous
 // chunks, original timestamps) and merges the per-packet results in frame
 // order. With one connection this is exactly the classic sequential loop.
-func inject(conns []*p4rt.Client, frames [][]byte) (lats []float64, passes, drops int, err error) {
+// With pipelined set, each connection issues injections asynchronously via
+// GoInject, keeping the client's in-flight window full instead of paying a
+// synchronous round trip per packet; per-packet results still land at their
+// frame index, so the merged output is identical (the remote chain's
+// per-packet outcome depends only on the packet and its timestamp).
+func inject(conns []*p4rt.Client, frames [][]byte, pipelined bool) (lats []float64, passes, drops int, err error) {
 	type outcome struct {
 		lat     float64
 		passes  int
@@ -211,12 +217,37 @@ func inject(conns []*p4rt.Client, frames [][]byte) (lats []float64, passes, drop
 	}
 	results := make([]outcome, len(frames))
 	errs := make([]error, len(conns))
+	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := range conns {
 		lo, hi := len(frames)*w/len(conns), len(frames)*(w+1)/len(conns)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			if pipelined {
+				for i := lo; i < hi; i++ {
+					i := i
+					conns[w].GoInject(frames[i], float64(i)*1000, func(res p4rt.InjectResult, err error) {
+						if err != nil {
+							errMu.Lock()
+							if errs[w] == nil {
+								errs[w] = err
+							}
+							errMu.Unlock()
+							return
+						}
+						results[i] = outcome{lat: res.LatencyNs, passes: res.Passes, dropped: res.Dropped}
+					})
+				}
+				if err := conns[w].Flush(); err != nil {
+					errMu.Lock()
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					errMu.Unlock()
+				}
+				return
+			}
 			for i := lo; i < hi; i++ {
 				res, err := conns[w].Inject(frames[i], float64(i)*1000)
 				if err != nil {

@@ -611,6 +611,23 @@ func (c *Client) Inject(wire []byte, nowNs float64) (InjectResult, error) {
 	return *resp.Inject, nil
 }
 
+// GoInject is Inject issued asynchronously (see Go): the round trip is
+// pipelined with other in-flight requests on the shared connection, and
+// done receives the outcome. Use Flush to wait for completion.
+func (c *Client) GoInject(wire []byte, nowNs float64, done func(InjectResult, error)) {
+	c.Go(&Request{Type: MsgInject, Wire: wire, NowNs: nowNs}, func(resp *Response, err error) {
+		if err != nil {
+			done(InjectResult{}, err)
+			return
+		}
+		if resp.Inject == nil {
+			done(InjectResult{}, fmt.Errorf("p4rt: inject result missing"))
+			return
+		}
+		done(*resp.Inject, nil)
+	})
+}
+
 // VSwitchTarget adapts a vswitch.VSwitch to the server Target interface.
 type VSwitchTarget struct {
 	V *vswitch.VSwitch

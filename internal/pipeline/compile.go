@@ -1,0 +1,356 @@
+package pipeline
+
+import "sfp/internal/packet"
+
+// This file is the data plane's compile step: Pipeline.Compile freezes the
+// pipeline's stage/table structure into a flat, specialized jump table
+// (Compiled) that replaces the generic interpreter loop on the hot path.
+//
+// What compilation buys over the interpreter (Process/ProcessCtx):
+//
+//   - the stage/table walk runs over contiguous value slices instead of
+//     chasing *Stage/*Table pointers;
+//   - each table's lookup discipline (exact-index / tenant-sharded /
+//     generic scan) is selected once at compile time instead of per packet;
+//   - per-key field IDs, match kinds, and bit widths are flattened into
+//     parallel arrays, so matching skips the Field.Bits() switch per key;
+//   - action bodies are resolved at rule-insert/compile time (Rule.fn,
+//     ctable.defaultFn), skipping the per-packet action-map lookups;
+//   - the batch entry point (ProcessBatch) accumulates telemetry in
+//     per-worker Scratch counters and folds them into the shared atomics
+//     once per batch, so multicore replay stops bouncing counter cache
+//     lines on every packet.
+//
+// A Compiled is a snapshot of the pipeline's STRUCTURE, not its rules: rule
+// churn (Table.Insert / Table.DeleteTenant) is visible immediately because
+// lookups read the live table indexes. Structural changes — adding or
+// removing tables, registering actions, changing a default action — are NOT
+// visible; callers must recompile after them (internal/vswitch invalidates
+// its cached Compiled on physical-NF install/remove).
+//
+// The compiled path is proved bit-identical to the interpreter — Result
+// fields, recirculation passes, register side effects, and telemetry
+// counts — by the golden and randomized property tests in compile_test.go.
+
+// Item is one packet of a replay workload together with its arrival
+// timestamp: the unit of the batched processing path. internal/traffic
+// aliases this type for workload generation.
+type Item struct {
+	Pkt   *packet.Packet
+	NowNs float64
+}
+
+// Lookup disciplines, fixed per table at compile time (mirroring the
+// classification NewTable derives from the key spec).
+const (
+	ckExact   = iota // all-exact keys: FNV-1a hash index
+	ckSharded        // exact (tenant, pass) prefix: per-tenant bucket scan
+	ckScan           // generic: priority-ordered linear scan
+)
+
+// ctable is one table's compiled form. It keeps a pointer to the live
+// Table for the rule indexes (so churn stays visible) but caches everything
+// derivable from the frozen structure.
+type ctable struct {
+	t    *Table
+	slot int // index into Scratch.hits/misses
+	kind uint8
+
+	// Parallel per-key arrays replacing t.Keys field/kind/width derivation.
+	fields []FieldID
+	kinds  []MatchKind
+	bits   []int
+
+	defaultFn     ActionFunc
+	defaultParams []uint64
+}
+
+// cstage is one stage's compiled form.
+type cstage struct {
+	index  int
+	regs   *RegisterFile
+	tables []ctable
+}
+
+// Compiled is a pipeline specialized for packet processing. It is immutable
+// after Compile and safe for concurrent use by any number of workers
+// (single-packet entry points share the pipeline's atomic counters; batch
+// workers each own a Scratch).
+type Compiled struct {
+	pl        *Pipeline
+	maxPasses int
+	parserNs  float64
+	perStage  float64
+	perTable  float64
+	deparser  float64
+	recirc    float64
+	stages    []cstage
+	tabs      []*Table // slot -> table, for Scratch folding
+}
+
+// Compile freezes the pipeline's current structure into a specialized
+// processor. The receiver stays fully usable (and remains the reference
+// interpreter); rule churn after Compile is honored by the compiled form,
+// structural changes require recompiling.
+func (pl *Pipeline) Compile() *Compiled {
+	c := &Compiled{
+		pl:        pl,
+		maxPasses: pl.Cfg.MaxPasses,
+		parserNs:  pl.Cfg.ParserNs,
+		perStage:  pl.Cfg.PerStageNs,
+		perTable:  pl.Cfg.PerTableNs,
+		deparser:  pl.Cfg.DeparserNs,
+		recirc:    pl.Cfg.RecircNs,
+	}
+	if c.maxPasses <= 0 {
+		c.maxPasses = 1
+	}
+	c.stages = make([]cstage, 0, len(pl.Stages))
+	for _, st := range pl.Stages {
+		cs := cstage{index: st.Index, regs: st.Regs}
+		for _, t := range st.Tables {
+			ct := ctable{
+				t:             t,
+				slot:          len(c.tabs),
+				kind:          ckScan,
+				defaultParams: t.DefaultParams,
+			}
+			switch {
+			case t.allExact:
+				ct.kind = ckExact
+			case t.sharded:
+				ct.kind = ckSharded
+			}
+			for _, k := range t.Keys {
+				ct.fields = append(ct.fields, k.Field)
+				ct.kinds = append(ct.kinds, k.Kind)
+				ct.bits = append(ct.bits, k.Field.Bits())
+			}
+			if t.DefaultAction != "" {
+				ct.defaultFn = t.actions[t.DefaultAction]
+			}
+			cs.tables = append(cs.tables, ct)
+			c.tabs = append(c.tabs, t)
+		}
+		c.stages = append(c.stages, cs)
+	}
+	return c
+}
+
+// Pipeline returns the pipeline this Compiled was built from.
+func (c *Compiled) Pipeline() *Pipeline { return c.pl }
+
+// Scratch is one worker's private batch state: the reusable action Context
+// plus local telemetry counters that ProcessBatch folds into the pipeline's
+// shared atomics once per batch. A Scratch must not be shared between
+// concurrent workers.
+type Scratch struct {
+	c            *Compiled
+	ctx          Context
+	processed    uint64
+	recirculated uint64
+	hits         []uint64
+	misses       []uint64
+}
+
+// NewScratch allocates batch scratch state sized for this pipeline.
+func (c *Compiled) NewScratch() *Scratch {
+	return &Scratch{
+		c:      c,
+		hits:   make([]uint64, len(c.tabs)),
+		misses: make([]uint64, len(c.tabs)),
+	}
+}
+
+// flush folds the local counters into the shared atomics and zeroes them.
+func (s *Scratch) flush() {
+	if s.processed != 0 {
+		s.c.pl.processed.Add(s.processed)
+		s.processed = 0
+	}
+	if s.recirculated != 0 {
+		s.c.pl.recirculated.Add(s.recirculated)
+		s.recirculated = 0
+	}
+	for i, t := range s.c.tabs {
+		if s.hits[i] != 0 {
+			t.hits.Add(s.hits[i])
+			s.hits[i] = 0
+		}
+		if s.misses[i] != 0 {
+			t.misses.Add(s.misses[i])
+			s.misses[i] = 0
+		}
+	}
+}
+
+// Process runs one packet through the compiled pipeline, charging telemetry
+// directly to the shared atomic counters. It is the drop-in counterpart of
+// Pipeline.Process and returns bit-identical results.
+func (c *Compiled) Process(p *packet.Packet, nowNs float64) Result {
+	ctx := ctxPool.Get().(*Context)
+	res := c.run(p, nowNs, ctx, nil)
+	ctxPool.Put(ctx)
+	return res
+}
+
+// ProcessCtx is Process with a caller-owned scratch Context (the
+// zero-allocation entry point for tight single-packet loops). The scratch
+// must not be shared between concurrent callers.
+func (c *Compiled) ProcessCtx(p *packet.Packet, nowNs float64, ctx *Context) Result {
+	return c.run(p, nowNs, ctx, nil)
+}
+
+// ProcessBatch runs a chunk of packets through the compiled path,
+// appending each packet's Result to out (returned re-sliced), with ONE
+// telemetry flush for the whole batch: counters accumulate in the worker's
+// Scratch and fold into the shared atomics at the end, so per-packet atomic
+// RMWs — and their cross-core cache-line traffic — are amortized away.
+// Passing a nil Scratch allocates a throwaway one.
+func (c *Compiled) ProcessBatch(items []Item, out []Result, s *Scratch) []Result {
+	if s == nil {
+		s = c.NewScratch()
+	}
+	for i := range items {
+		out = append(out, c.run(items[i].Pkt, items[i].NowNs, &s.ctx, s))
+	}
+	s.flush()
+	return out
+}
+
+// run is the compiled per-packet loop. It mirrors Pipeline.ProcessCtx
+// operation for operation (same float accumulation order, same counter
+// semantics) so results are bit-identical; s selects batched (local) vs
+// direct (atomic) telemetry.
+func (c *Compiled) run(p *packet.Packet, nowNs float64, ctx *Context, s *Scratch) Result {
+	res := Result{LatencyNs: c.parserNs}
+	if s != nil {
+		s.processed++
+	} else {
+		c.pl.processed.Add(1)
+	}
+	for pass := 0; pass < c.maxPasses; pass++ {
+		res.Passes++
+		p.Meta.Recirculate = false
+		for si := range c.stages {
+			st := &c.stages[si]
+			ctx.StageIndex = st.index
+			ctx.Regs = st.regs
+			ctx.NowNs = nowNs + res.LatencyNs
+			for ti := range st.tables {
+				ct := &st.tables[ti]
+				if r := ct.apply(ctx, p, s); r != nil {
+					res.TablesApplied++
+					res.LatencyNs += c.perTable
+				}
+			}
+			res.LatencyNs += c.perStage
+			if p.Meta.Drop {
+				res.Dropped = true
+				res.LatencyNs += c.deparser
+				return res
+			}
+		}
+		if !p.Meta.Recirculate {
+			break
+		}
+		p.Meta.Pass++
+		if s != nil {
+			s.recirculated++
+		} else {
+			c.pl.recirculated.Add(1)
+		}
+		res.LatencyNs += c.recirc
+	}
+	res.LatencyNs += c.deparser
+	res.EgressPort = p.Meta.EgressPort
+	res.Dropped = p.Meta.Drop
+	return res
+}
+
+// apply is the compiled Table.Apply: lookup via the precompiled discipline,
+// count the hit/miss, run the cached action body.
+func (ct *ctable) apply(ctx *Context, p *packet.Packet, s *Scratch) *Rule {
+	r := ct.lookup(p)
+	if r != nil {
+		if s != nil {
+			s.hits[ct.slot]++
+		} else {
+			ct.t.hits.Add(1)
+		}
+		fn := r.fn
+		if fn == nil {
+			// Rules always enter via Insert, which caches fn; this fallback
+			// only covers rules predating a (re-)registration of the action.
+			fn = ct.t.actions[r.Action]
+		}
+		if fn != nil {
+			fn(ctx, p, r.Params)
+		}
+		if r.Rec {
+			p.Meta.Recirculate = true
+		}
+		return r
+	}
+	if s != nil {
+		s.misses[ct.slot]++
+	} else {
+		ct.t.misses.Add(1)
+	}
+	if ct.defaultFn != nil {
+		ct.defaultFn(ctx, p, ct.defaultParams)
+	}
+	return nil
+}
+
+// lookup finds the highest-priority matching rule, or nil, without touching
+// the table's counters (the caller charges them batched or direct).
+func (ct *ctable) lookup(p *packet.Packet) *Rule {
+	switch ct.kind {
+	case ckExact:
+		h := uint64(fnvOffset64)
+		for _, f := range ct.fields {
+			h = hashVal(h, Extract(p, f))
+		}
+		for _, r := range ct.t.exactIdx[h] {
+			if ct.exactMatches(r, p) {
+				return r
+			}
+		}
+	case ckSharded:
+		k := shardKey(Extract(p, ct.fields[0]), Extract(p, ct.fields[1]))
+		for _, r := range ct.t.shards[k] {
+			if ct.ruleMatches(r, p) {
+				return r
+			}
+		}
+	default:
+		for _, r := range ct.t.scan {
+			if ct.ruleMatches(r, p) {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// exactMatches verifies an exact-index candidate against the packet.
+func (ct *ctable) exactMatches(r *Rule, p *packet.Packet) bool {
+	for i, f := range ct.fields {
+		if Extract(p, f) != r.Matches[i].Value {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleMatches evaluates every key of r against the packet using the
+// precompiled kind/width arrays.
+func (ct *ctable) ruleMatches(r *Rule, p *packet.Packet) bool {
+	for i, f := range ct.fields {
+		if !r.Matches[i].matches(Extract(p, f), ct.kinds[i], ct.bits[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+package pipeline
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence-line size. 64 bytes matches every
+// x86-64 and most arm64 parts; on chips with 128-byte lines the padding
+// merely halves, which degrades gracefully (adjacent counters may share a
+// line again but are never split across one).
+const cacheLine = 64
+
+// counter is an atomic uint64 padded out to its own cache line. The
+// pipeline's hot telemetry counters (processed/recirculated, per-table
+// hits/misses) are declared as adjacent struct fields; without padding they
+// share a line, so parallel replay workers bouncing one counter invalidate
+// the others too (false sharing). Padding keeps each counter's RMW traffic
+// on its own line.
+type counter struct {
+	n atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Add atomically adds d and returns the new value.
+func (c *counter) Add(d uint64) uint64 { return c.n.Add(d) }
+
+// Load atomically reads the value.
+func (c *counter) Load() uint64 { return c.n.Load() }

@@ -3,7 +3,6 @@ package pipeline
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"sfp/internal/packet"
 )
@@ -164,12 +163,13 @@ type Pipeline struct {
 	Cfg    Config
 	Stages []*Stage
 
-	// processed and recirculated count packets for observability. Atomic:
-	// parallel replay workers may process packets on one pipeline
-	// concurrently (rule installation must still be serialized against
-	// processing, as on a real switch).
-	processed    atomic.Uint64
-	recirculated atomic.Uint64
+	// processed and recirculated count packets for observability. Atomic
+	// and cache-line padded: parallel replay workers may process packets on
+	// one pipeline concurrently (rule installation must still be serialized
+	// against processing, as on a real switch), and without the padding the
+	// two counters false-share a line under multicore replay.
+	processed    counter
+	recirculated counter
 }
 
 // Processed returns the number of packets processed.

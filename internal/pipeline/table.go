@@ -3,7 +3,6 @@ package pipeline
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"sfp/internal/packet"
 )
@@ -43,6 +42,11 @@ type Rule struct {
 	// Tenant tags the rule's owner (0 = infrastructure rule), so that a
 	// tenant's rules can be bulk-deleted on departure.
 	Tenant uint32
+
+	// fn caches the resolved action body at Insert time so the compiled hot
+	// path skips the per-packet action-map lookup. Insert validates the
+	// action name, so fn is always set for installed rules.
+	fn ActionFunc
 }
 
 // Table is a match-action table resident in one stage.
@@ -91,9 +95,10 @@ type Table struct {
 	allExact bool
 	sharded  bool
 
-	// hits and misses count lookups for observability. Atomic: parallel
-	// replay workers may share one pipeline.
-	hits, misses atomic.Uint64
+	// hits and misses count lookups for observability. Atomic and
+	// cache-line padded: parallel replay workers may share one pipeline,
+	// and unpadded adjacent counters false-share a line.
+	hits, misses counter
 }
 
 // NewTable creates a table with the given key specification and entry
@@ -219,9 +224,11 @@ func (t *Table) Insert(r *Rule) error {
 	if len(r.Matches) != len(t.Keys) {
 		return fmt.Errorf("table %s: rule has %d matches, key spec has %d", t.Name, len(r.Matches), len(t.Keys))
 	}
-	if _, ok := t.actions[r.Action]; !ok {
+	fn, ok := t.actions[r.Action]
+	if !ok {
 		return fmt.Errorf("table %s: unknown action %q", t.Name, r.Action)
 	}
+	r.fn = fn
 	if len(t.rules) >= t.Capacity {
 		return fmt.Errorf("table %s: capacity %d exhausted", t.Name, t.Capacity)
 	}

@@ -15,13 +15,20 @@ type Processor interface {
 	Process(p *packet.Packet, nowNs float64) pipeline.Result
 }
 
-// Item is one packet of a replay workload together with its arrival
-// timestamp. Workloads are pre-generated (so RNG draw order is independent
-// of worker count) and then replayed by the Engine.
-type Item struct {
-	Pkt   *packet.Packet
-	NowNs float64
+// BatchCompiler is the optional fast-path interface: a Processor that can
+// expose its compiled pipeline lets the engine replay each worker's chunk
+// through pipeline.Compiled.ProcessBatch — specialized dispatch plus one
+// telemetry flush per chunk instead of per-packet atomics. *vswitch.VSwitch
+// implements it; plain Processors fall back to per-packet Process.
+type BatchCompiler interface {
+	Compiled() *pipeline.Compiled
 }
+
+// Item is one packet of a replay workload together with its arrival
+// timestamp (an alias of pipeline.Item, the unit of the batched path).
+// Workloads are pre-generated (so RNG draw order is independent of worker
+// count) and then replayed by the Engine.
+type Item = pipeline.Item
 
 // EngineStats aggregates one replay. Per-worker tallies are merged in
 // worker-index order, so a run with a fixed worker count is deterministic,
@@ -58,16 +65,32 @@ func (s EngineStats) MeanLatencyNs() float64 {
 // New), and merges the per-worker statistics. With stateless NFs the same
 // Processor may be shared by every worker: lookups are read-only and the
 // pipeline counters are atomic.
+//
+// The engine owns a persistent worker pool: processors, scratch state, and
+// chunk buffers are built on the first Replay and reused by every later one,
+// so steady-state replay performs no per-call allocation regardless of
+// worker count (workers sleep on their wake channels between replays).
+// Call Close when done to release the pool; changing Workers between calls
+// rebuilds it.
 type Engine struct {
 	// Workers is the goroutine count; <= 0 selects GOMAXPROCS. Workers=1
 	// reproduces a sequential replay exactly.
 	Workers int
 	// New builds the processor for one worker (called once per worker, in
-	// worker order, before any packet is processed). Returning the same
-	// value for every worker is allowed when processing is stateless.
+	// worker order, when the pool is (re)built). Returning the same value
+	// for every worker is allowed when processing is stateless.
 	New func(worker int) (Processor, error)
 	// KeepLatencies records per-packet latencies in EngineStats.Latencies.
 	KeepLatencies bool
+
+	// mu serializes Replay/Close and guards the pool state below.
+	mu       sync.Mutex
+	started  bool
+	resolved int // Workers value the pool was built for
+	ws       []*workerState
+	wg       sync.WaitGroup
+	curItems []Item
+	keepLat  bool
 }
 
 // workerTally is one worker's private accumulator.
@@ -76,78 +99,175 @@ type workerTally struct {
 	passes     int
 	latencySum float64
 	applied    int
-	latencies  []float64
+}
+
+// workerState is one pool worker's persistent state. Each worker owns its
+// struct exclusively while running (the engine reads tallies only after
+// wg.Wait), and the structs are separately heap-allocated so two workers'
+// hot fields never share a cache line.
+type workerState struct {
+	proc    Processor
+	comp    *pipeline.Compiled // non-nil selects the batched path
+	scratch *pipeline.Scratch
+	wake    chan [2]int       // [lo, hi) chunk bounds; closed on teardown
+	out     []pipeline.Result // reused batch result buffer
+	lat     []float64         // reused per-packet latency buffer
+	tally   workerTally
+}
+
+// replayChunk processes items through this worker's processor, accumulating
+// into the worker's persistent tally and latency buffers (reset first).
+func (w *workerState) replayChunk(items []Item, keepLat bool) {
+	w.tally = workerTally{}
+	w.lat = w.lat[:0]
+	if w.comp != nil {
+		// Batched fast path: compiled dispatch, one telemetry flush.
+		w.out = w.comp.ProcessBatch(items, w.out[:0], w.scratch)
+		for i := range w.out {
+			w.record(&w.out[i], keepLat)
+		}
+		return
+	}
+	for i := range items {
+		res := w.proc.Process(items[i].Pkt, items[i].NowNs)
+		w.record(&res, keepLat)
+	}
+}
+
+func (w *workerState) record(res *pipeline.Result, keepLat bool) {
+	t := &w.tally
+	if res.Passes > t.passes {
+		t.passes = res.Passes
+	}
+	t.applied += res.TablesApplied
+	if res.Dropped {
+		t.drops++
+		return
+	}
+	t.latencySum += res.LatencyNs
+	if keepLat {
+		w.lat = append(w.lat, res.LatencyNs)
+	}
+}
+
+// runWorker is the pool goroutine body: sleep on the wake channel, replay
+// the assigned chunk, signal completion. Exits when the channel closes.
+func (e *Engine) runWorker(w *workerState) {
+	for rng := range w.wake {
+		w.replayChunk(e.curItems[rng[0]:rng[1]], e.keepLat)
+		e.wg.Done()
+	}
+}
+
+// initLocked builds the worker pool: processors first (so a factory error
+// leaves nothing running), then one goroutine per worker.
+func (e *Engine) initLocked() error {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	procs := make([]Processor, workers)
+	for w := 0; w < workers; w++ {
+		proc, err := e.New(w)
+		if err != nil {
+			return fmt.Errorf("traffic: engine worker %d: %w", w, err)
+		}
+		procs[w] = proc
+	}
+	e.ws = make([]*workerState, workers)
+	for w := 0; w < workers; w++ {
+		ws := &workerState{proc: procs[w], wake: make(chan [2]int, 1)}
+		if bc, ok := procs[w].(BatchCompiler); ok {
+			if c := bc.Compiled(); c != nil {
+				ws.comp = c
+				ws.scratch = c.NewScratch()
+			}
+		}
+		e.ws[w] = ws
+		go e.runWorker(ws)
+	}
+	e.started = true
+	e.resolved = e.Workers
+	return nil
+}
+
+// teardownLocked stops the pool goroutines and drops their state.
+func (e *Engine) teardownLocked() {
+	for _, w := range e.ws {
+		if w != nil {
+			close(w.wake)
+		}
+	}
+	e.ws = nil
+	e.started = false
+}
+
+// Close releases the engine's worker pool. The engine stays usable: the
+// next Replay rebuilds the pool via New.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.teardownLocked()
 }
 
 // Replay pushes every item through a worker's processor. Items are split
 // into contiguous chunks (worker w replays items[w*n/W : (w+1)*n/W] in
 // order), so per-flow packet order is preserved within a chunk and the
-// Workers=1 case degenerates to the exact sequential loop.
+// Workers=1 case degenerates to the exact sequential loop. At most
+// len(items) workers are woken; idle pool workers keep sleeping.
 func (e *Engine) Replay(items []Item) (EngineStats, error) {
 	if e.New == nil {
 		return EngineStats{}, fmt.Errorf("traffic: engine needs a processor factory")
 	}
-	workers := e.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started && e.resolved != e.Workers {
+		e.teardownLocked()
 	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	procs := make([]Processor, workers)
-	for w := 0; w < workers; w++ {
-		proc, err := e.New(w)
-		if err != nil {
-			return EngineStats{}, fmt.Errorf("traffic: engine worker %d: %w", w, err)
+	if !e.started {
+		if err := e.initLocked(); err != nil {
+			return EngineStats{}, err
 		}
-		procs[w] = proc
 	}
-
-	tallies := make([]workerTally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := len(items)*w/workers, len(items)*(w+1)/workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			t := &tallies[w]
-			if e.KeepLatencies {
-				t.latencies = make([]float64, 0, hi-lo)
-			}
-			for _, it := range items[lo:hi] {
-				res := procs[w].Process(it.Pkt, it.NowNs)
-				if res.Passes > t.passes {
-					t.passes = res.Passes
-				}
-				t.applied += res.TablesApplied
-				if res.Dropped {
-					t.drops++
-					continue
-				}
-				t.latencySum += res.LatencyNs
-				if e.KeepLatencies {
-					t.latencies = append(t.latencies, res.LatencyNs)
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
 
 	stats := EngineStats{Packets: len(items)}
-	for w := range tallies {
-		t := &tallies[w]
+	if len(items) == 0 {
+		return stats, nil
+	}
+	active := len(e.ws)
+	if active > len(items) {
+		active = len(items)
+	}
+
+	e.curItems = items
+	e.keepLat = e.KeepLatencies
+	e.wg.Add(active)
+	for w := 0; w < active; w++ {
+		e.ws[w].wake <- [2]int{len(items) * w / active, len(items) * (w + 1) / active}
+	}
+	e.wg.Wait()
+	e.curItems = nil
+
+	if e.keepLat {
+		total := 0
+		for w := 0; w < active; w++ {
+			total += len(e.ws[w].lat)
+		}
+		stats.Latencies = make([]float64, 0, total)
+	}
+	for w := 0; w < active; w++ {
+		t := &e.ws[w].tally
 		stats.Drops += t.drops
 		if t.passes > stats.Passes {
 			stats.Passes = t.passes
 		}
 		stats.LatencySumNs += t.latencySum
 		stats.TablesApplied += t.applied
-		if e.KeepLatencies {
-			stats.Latencies = append(stats.Latencies, t.latencies...)
+		if e.keepLat {
+			stats.Latencies = append(stats.Latencies, e.ws[w].lat...)
 		}
 	}
 	return stats, nil

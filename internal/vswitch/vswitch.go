@@ -9,6 +9,7 @@ package vswitch
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sfp/internal/nf"
 	"sfp/internal/packet"
@@ -76,6 +77,13 @@ type VSwitch struct {
 	// bandwidthUsed is Σ (R_l+1)·T_l over live allocations, checked against
 	// the backplane capacity (Eq. 12).
 	bandwidthUsed float64
+
+	// compiled caches the pipeline's compiled form for the packet hot path.
+	// Rule churn (tenant allocate/deallocate) keeps a Compiled valid, so
+	// only structural changes — installing or removing a physical NF, which
+	// add/remove tables and register actions — invalidate it (Store(nil));
+	// the next Compiled() call rebuilds lazily.
+	compiled atomic.Pointer[pipeline.Compiled]
 }
 
 // New wraps a pipeline in a virtual switch.
@@ -137,6 +145,7 @@ func (v *VSwitch) InstallPhysicalNF(stage int, t nf.Type, capacity int) (*Physic
 	}
 	pnf := &PhysicalNF{Type: t, Stage: stage, Table: tbl}
 	v.physical[stage] = append(v.physical[stage], pnf)
+	v.compiled.Store(nil) // structural change: drop the compiled cache
 	return pnf, nil
 }
 
@@ -158,6 +167,7 @@ func (v *VSwitch) RemovePhysicalNF(stage int, t nf.Type) error {
 			break
 		}
 	}
+	v.compiled.Store(nil) // structural change: drop the compiled cache
 	return nil
 }
 
@@ -470,7 +480,21 @@ func (v *VSwitch) Deallocate(tenant uint32) error {
 	return nil
 }
 
-// Process pushes one packet through the data plane.
+// Compiled returns the pipeline's compiled fast path, building and caching
+// it on first use. The cache survives rule churn (allocate/deallocate) and
+// is invalidated by physical-NF install/remove. Safe for concurrent use;
+// concurrent first calls may compile twice, both results are valid.
+func (v *VSwitch) Compiled() *pipeline.Compiled {
+	if c := v.compiled.Load(); c != nil {
+		return c
+	}
+	c := v.Pipe.Compile()
+	v.compiled.Store(c)
+	return c
+}
+
+// Process pushes one packet through the data plane via the compiled fast
+// path (bit-identical to the interpreter, see pipeline's property tests).
 func (v *VSwitch) Process(p *packet.Packet, nowNs float64) pipeline.Result {
-	return v.Pipe.Process(p, nowNs)
+	return v.Compiled().Process(p, nowNs)
 }

@@ -20,6 +20,12 @@
 #                            drops below a 1.5x speedup over the recorded
 #                            dense/serial baseline (i.e. a >1.5x regression
 #                            against this PR's solver fast path).
+#                            Finally runs the data-plane compiled-pipeline +
+#                            multicore replay benchmarks, writes
+#                            BENCH_dataplane.json (pps-vs-workers curve),
+#                            and fails if the compiled hot path allocates,
+#                            is slower than the interpreter, or (on >= 4-CPU
+#                            hosts) workers=4 falls below 2.5x workers=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -223,6 +229,107 @@ if [[ "${1:-}" == "bench" ]]; then
         exit 1
     fi
     echo "== recovery bench checks passed (1k-tenant recover < 1s)"
+
+    echo "== go test -bench (data plane: compiled pipeline + multicore replay)"
+    cout=$(go test -run '^$' \
+        -bench 'BenchmarkProcess$|BenchmarkProcessCtx$|BenchmarkCompiledProcess$|BenchmarkCompiledProcessCtx$|BenchmarkCompiledBatch$' \
+        -benchtime 500ms -count 3 -benchmem ./internal/pipeline/)
+    echo "$cout"
+    rpout=$(go test -run '^$' -bench 'BenchmarkReplayPPS' \
+        -benchtime 500ms -count 3 -benchmem ./internal/traffic/)
+    echo "$rpout"
+
+    # Minimum-of-3 ns/op for the compiled-vs-interpreter comparison, plus
+    # worst-case allocs/op per benchmark (fields located by unit token, since
+    # custom metrics like pps shift the column positions).
+    read -r int_ns intc_ns comp_ns compc_ns comp_allocs < <(printf '%s\n' "$cout" | awk '
+        function before(unit,  i) { for (i = 2; i <= NF; i++) if ($i == unit) return $(i-1); return "" }
+        $1 ~ /^BenchmarkProcess(-[0-9]+)?$/            { if (!a  || $3 < a)  a  = $3 }
+        $1 ~ /^BenchmarkProcessCtx(-[0-9]+)?$/         { if (!ac || $3 < ac) ac = $3 }
+        $1 ~ /^BenchmarkCompiledProcess(-[0-9]+)?$/    { if (!b  || $3 < b)  b  = $3 }
+        $1 ~ /^BenchmarkCompiledProcessCtx(-[0-9]+)?$/ { if (!bc || $3 < bc) bc = $3 }
+        $1 ~ /^BenchmarkCompiled/ { al = before("allocs/op"); if (al > mx) mx = al }
+        END { print a, ac, b, bc, mx+0 }')
+    if [[ -z "$int_ns" || -z "$comp_ns" ]]; then
+        echo "FAIL: data-plane benchmarks produced no measurements" >&2
+        exit 1
+    fi
+
+    # pps-vs-workers curve: best of 3 per worker count, worst-case allocs.
+    curve=$(printf '%s\n' "$rpout" | awk '
+        function before(unit,  i) { for (i = 2; i <= NF; i++) if ($i == unit) return $(i-1); return "" }
+        $1 ~ /^BenchmarkReplayPPS\/workers=/ {
+            w = $1; sub(/^BenchmarkReplayPPS\/workers=/, "", w); sub(/-[0-9]+$/, "", w)
+            p = before("pps"); al = before("allocs/op")
+            if (!(w in pps) || p + 0 > pps[w]) pps[w] = p + 0
+            if (!(w in allocs) || al + 0 > allocs[w]) allocs[w] = al + 0
+        }
+        END { for (w in pps) printf "%s %s %s\n", w, pps[w], allocs[w] }' | sort -n)
+    if [[ -z "$curve" ]]; then
+        echo "FAIL: replay pps benchmarks produced no measurements" >&2
+        exit 1
+    fi
+    pps1=$(awk '$1 == 1 { print $2 }' <<< "$curve")
+    pps4=$(awk '$1 == 4 { print $2 }' <<< "$curve")
+
+    {
+        printf '{\n'
+        printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+        printf '  "cpus": %s,\n' "$(nproc)"
+        printf '  "note": "interpreter = generic stage-loop ProcessCtx; compiled = Pipeline.Compile jump table (cached lookup discipline, flattened key metadata, insert-time action resolution); batch = ProcessBatch with one telemetry flush per 64-packet chunk; replay = traffic.Engine persistent worker pool over the batched compiled path, 4096-packet workload, best of 3 runs. The workers=4 >= 2.5x gate applies only on hosts with >= 4 CPUs.",\n'
+        printf '  "interpreter": {\n'
+        printf '    "BenchmarkProcess":    {"ns_op": %s},\n' "$int_ns"
+        printf '    "BenchmarkProcessCtx": {"ns_op": %s}\n' "$intc_ns"
+        printf '  },\n'
+        printf '  "compiled": {\n'
+        printf '    "BenchmarkCompiledProcess":    {"ns_op": %s, "speedup": %s},\n' \
+            "$comp_ns" "$(awk -v i="$int_ns" -v c="$comp_ns" 'BEGIN { printf "%.2f", i/c }')"
+        printf '    "BenchmarkCompiledProcessCtx": {"ns_op": %s, "speedup": %s}\n' \
+            "$compc_ns" "$(awk -v i="$intc_ns" -v c="$compc_ns" 'BEGIN { printf "%.2f", i/c }')"
+        printf '  },\n'
+        printf '  "replay_pps_vs_workers": {\n'
+        n=$(wc -l <<< "$curve"); i=0
+        while read -r w pps al; do
+            i=$((i + 1))
+            printf '    "workers=%s": {"pps": %s, "allocs_op": %s}%s\n' \
+                "$w" "$pps" "$al" "$([[ $i -lt $n ]] && echo ,)"
+        done <<< "$curve"
+        printf '  }\n}\n'
+    } > BENCH_dataplane.json
+    echo "== wrote BENCH_dataplane.json"
+
+    dfail=0
+    # Gate (a): the compiled hot path and the replay loop must not allocate.
+    if [[ "$comp_allocs" != "0" ]]; then
+        echo "FAIL: compiled hot path allocates $comp_allocs allocs/op (want 0)" >&2
+        dfail=1
+    fi
+    while read -r w _ al; do
+        if [[ "$al" != "0" ]]; then
+            echo "FAIL: replay at workers=$w allocates $al allocs/op (want 0)" >&2
+            dfail=1
+        fi
+    done <<< "$curve"
+
+    # Gate (b): real multicore scaling — workers=4 must reach >= 2.5x the
+    # workers=1 throughput, on hosts that actually have >= 4 CPUs.
+    if [[ "$(nproc)" -ge 4 ]]; then
+        if awk -v a="$pps1" -v b="$pps4" 'BEGIN { exit !(b < 2.5 * a) }'; then
+            echo "FAIL: workers=4 replay $(awk -v a="$pps1" -v b="$pps4" 'BEGIN { printf "%.2f", b/a }')x workers=1 (gate: >= 2.5x on >= 4-CPU hosts)" >&2
+            dfail=1
+        fi
+    else
+        echo "== note: host has $(nproc) CPU(s) < 4; recording pps curve, skipping the 2.5x scaling gate"
+    fi
+
+    # Gate (c): compiling must never lose to interpreting (min of 3 each).
+    if awk -v i="$int_ns" -v c="$comp_ns" 'BEGIN { exit !(c > i) }'; then
+        echo "FAIL: compiled Process ($comp_ns ns/op) slower than interpreter ($int_ns ns/op)" >&2
+        dfail=1
+    fi
+
+    [[ "$dfail" == 0 ]] || exit 1
+    echo "== data-plane bench checks passed (compiled <= interpreter, 0 allocs/op, pps curve recorded)"
     exit 0
 fi
 
