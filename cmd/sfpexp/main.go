@@ -75,6 +75,9 @@ func main() {
 		// Not part of "all": the replay pps-vs-workers curve (also gated in
 		// scripts/check.sh bench as BENCH_dataplane.json).
 		{"scaling", func() (*experiments.Table, error) { return experiments.DataplaneScaling(0, nil) }},
+		// Not part of "all": replan latency vs live-tenant count (also gated
+		// in scripts/check.sh bench as BENCH_replan.json).
+		{"replanscale", func() (*experiments.Table, error) { return experiments.ReplanScale(sc) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -94,7 +97,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling)\n", *figs)
+		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling, replanscale)\n", *figs)
 		os.Exit(2)
 	}
 }

@@ -268,6 +268,16 @@ func (c *Controller) solve(in *model.Instance) (*placement.Result, ProvisionInfo
 // (requested vs. used algorithm, fallback attempts).
 func (c *Controller) LastProvision() ProvisionInfo { return c.lastInfo }
 
+// LastReplan reports how the most recent incremental replan executed
+// (fast-path vs. full rebuild, warm start, admissions, solve time). Zero
+// value before the first replan or when the controller runs AlgoGreedy.
+func (c *Controller) LastReplan() placement.ReplanStats {
+	if c.updater == nil {
+		return placement.ReplanStats{}
+	}
+	return c.updater.LastReplan()
+}
+
 // Provision performs the initial joint placement for a batch of tenant
 // SFCs and installs the result on the switch. Tenants the optimizer leaves
 // out (resources!) remain known as candidates for later replans. It returns

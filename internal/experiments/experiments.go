@@ -101,6 +101,10 @@ type Scale struct {
 	// experiment (tenants provisioned up front, then arrivals driven
 	// through Arrive vs ArriveMany). Zero means Churn's defaults.
 	ChurnSeedTenants, ChurnArrivals int
+	// ReplanScaleLives sweeps the live-tenant counts for the replan-scaling
+	// experiment (incremental vs full-rebuild replan latency). Zero means
+	// ReplanScale's defaults.
+	ReplanScaleLives []int
 }
 
 // QuickScale returns a configuration that regenerates every figure's shape
@@ -126,6 +130,7 @@ func QuickScale() Scale {
 		Fig11Candidates:   25,
 		Recirc:            2,
 		MeanChainLen:      5,
+		ReplanScaleLives:  []int{250, 500, 1000},
 	}
 }
 
@@ -151,6 +156,7 @@ func PaperScale() Scale {
 		Fig11Candidates:   50,
 		Recirc:            2,
 		MeanChainLen:      5,
+		ReplanScaleLives:  []int{1000, 2000, 4000},
 	}
 }
 

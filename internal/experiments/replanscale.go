@@ -1,0 +1,126 @@
+package experiments
+
+// Replan scaling: how incremental replan cost grows with the number of
+// live tenants. The delta path (pinned-tenant-eliminated residual program,
+// retained and patched across replans, warm-started root LP) should stay
+// near-flat; the full-rebuild reference re-encodes every tenant per replan
+// and grows superlinearly. This is the figure behind the BENCH_replan.json
+// gate in scripts/check.sh.
+
+import (
+	"fmt"
+	"time"
+
+	"sfp/internal/model"
+	"sfp/internal/placement"
+)
+
+// replanFleet builds a state with n live tenants pinned across an 8-stage
+// switch sized so memory and backplane never bind — the measured cost is
+// solver and encode work, not admission pressure. Mirrors the
+// BenchmarkReplan* fleet in internal/placement.
+func replanFleet(n int) (*model.Instance, *model.Assignment) {
+	in := &model.Instance{
+		Switch:   model.SwitchConfig{Stages: 8, BlocksPerStage: 4096, EntriesPerBlock: 1000, CapacityGbps: 1e6},
+		NumTypes: 4,
+		Recirc:   0,
+	}
+	for id := 1; id <= n; id++ {
+		in.Chains = append(in.Chains, replanFleetChain(id))
+	}
+	a := model.NewAssignment(in)
+	for i := range a.X {
+		for s := range a.X[i] {
+			a.X[i][s] = true
+		}
+	}
+	for l, c := range in.Chains {
+		base := c.ID % 6
+		a.Stages[l] = []int{base, base + 1, base + 2}
+	}
+	return in, a
+}
+
+func replanFleetChain(id int) *model.Chain {
+	return &model.Chain{ID: id, BandwidthGbps: 0.01, NFs: []model.ChainNF{
+		{Type: 1 + id%4, Rules: 40},
+		{Type: 1 + (id+1)%4, Rules: 40},
+		{Type: 1 + (id+2)%4, Rules: 40},
+	}}
+}
+
+// replanCycles measures arrive → replan → depart cycles on a fresh fleet
+// and returns the best per-cycle time (min-of-N, as the bench gates use).
+func replanCycles(n, cycles int, full bool) (time.Duration, error) {
+	in, a := replanFleet(n)
+	u, err := placement.NewUpdater(in, a, model.BuildOptions{Consolidate: true})
+	if err != nil {
+		return 0, err
+	}
+	// Warmup replan: builds (and, on the delta path, retains) the program.
+	if _, err := u.Replan(placement.ReplanOptions{FullRebuild: full}); err != nil {
+		return 0, err
+	}
+	best := time.Duration(0)
+	for i := 0; i < cycles; i++ {
+		id := n + 1 + i
+		if err := u.Arrive(replanFleetChain(id)); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := u.Replan(placement.ReplanOptions{FullRebuild: full}); err != nil {
+			return 0, err
+		}
+		el := time.Since(start)
+		if st := u.LastReplan(); st.Admitted != 1 {
+			return 0, fmt.Errorf("replanscale: arrival %d not admitted at n=%d: %+v", id, n, st)
+		}
+		if err := u.Depart(id); err != nil {
+			return 0, err
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+// ReplanScale sweeps live-tenant counts and reports per-replan latency for
+// the incremental delta path vs the full-rebuild reference. Rows are
+// (live, delta_ms, full_ms, speedup).
+func ReplanScale(sc Scale) (*Table, error) {
+	lives := sc.ReplanScaleLives
+	if len(lives) == 0 {
+		lives = []int{250, 500, 1000}
+	}
+	tbl := &Table{
+		Title:   "Replan scaling: incremental delta path vs full rebuild",
+		Columns: []string{"live", "delta_ms", "full_ms", "speedup"},
+		Notes: []string{
+			"one arrive -> replan -> depart cycle per point (min of 3 for delta, 2 for full)",
+			"delta = retained residual program, pinned tenants folded into RHS, warm-started root LP",
+			"full = Build over every tenant + PinChain, re-encoded per replan (pre-optimization behavior)",
+		},
+	}
+	for _, n := range lives {
+		delta, err := replanCycles(n, 3, false)
+		if err != nil {
+			return nil, err
+		}
+		full, err := replanCycles(n, 2, true)
+		if err != nil {
+			return nil, err
+		}
+		speedup := 0.0
+		if delta > 0 {
+			speedup = float64(full) / float64(delta)
+		}
+		tbl.Rows = append(tbl.Rows, []float64{
+			float64(n),
+			float64(delta) / float64(time.Millisecond),
+			float64(full) / float64(time.Millisecond),
+			speedup,
+		})
+	}
+	return tbl, nil
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestReplanScaleShape(t *testing.T) {
+	sc := QuickScale()
+	sc.ReplanScaleLives = []int{40, 80}
+	tbl, err := ReplanScale(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if row[0] != float64(sc.ReplanScaleLives[i]) {
+			t.Errorf("row %d live = %v, want %d", i, row[0], sc.ReplanScaleLives[i])
+		}
+		if row[1] <= 0 || row[2] <= 0 {
+			t.Errorf("row %d timings = %v, %v; want > 0", i, row[1], row[2])
+		}
+		if row[3] <= 0 {
+			t.Errorf("row %d speedup = %v, want > 0", i, row[3])
+		}
+	}
+}

@@ -106,6 +106,14 @@ type Options struct {
 	// order may differ). Callers wanting "all cores" pass
 	// runtime.GOMAXPROCS(0) themselves.
 	Workers int
+	// WarmBasis warm-starts the ROOT LP relaxation from a prior solve's
+	// optimal basis (cross-replan warm start: successive replans of a
+	// retained problem differ only by bound pins, RHS give-backs, and
+	// appended blocks, so the previous optimum re-enters via dual simplex).
+	// It applies at depth 0 only — deeper nodes keep the presolve+cold path
+	// (see WarmNodeLP for why). A basis whose shape does not match the
+	// problem is ignored and the root solves cold, deterministically.
+	WarmBasis *lp.Basis
 	// WarmNodeLP warm-starts each node LP from its parent's optimal basis
 	// (dual simplex over the full problem). Off by default for two measured
 	// reasons: node presolve shrinks child LPs (whose fixed variables
@@ -141,6 +149,13 @@ type Result struct {
 	Elapsed time.Duration
 	// Incumbents is the improving-solution time series.
 	Incumbents []Incumbent
+	// RootBasis is the root LP relaxation's optimal basis, when the root
+	// exported one (nil otherwise). Callers retain it across replans and
+	// pass it back as Options.WarmBasis.
+	RootBasis *lp.Basis
+	// RootWarmed reports whether the root LP actually solved via the warm
+	// path (false when Options.WarmBasis was absent or fell back cold).
+	RootWarmed bool
 }
 
 // Gap returns the relative optimality gap, or +inf with no incumbent.
@@ -294,9 +309,16 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		if opts.WarmNodeLP {
 			lpOpts.WarmBasis = nd.warm
 		}
+		if nd.depth == 0 && opts.WarmBasis != nil {
+			lpOpts.WarmBasis = opts.WarmBasis
+		}
 		sol, err := q.Solve(lpOpts)
 		if err != nil {
 			return nil, err
+		}
+		if nd.depth == 0 {
+			res.RootBasis = sol.Basis
+			res.RootWarmed = sol.Warm
 		}
 		// The LP solve is not interruptible; enforce the deadline on its
 		// result so a limit shorter than one LP really returns nothing.
@@ -355,8 +377,7 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 		if branchVar == -1 {
 			// All decision variables integral. Complete the ceiling-defined
-			// auxiliaries by rounding up; if even that minimal completion
-			// is infeasible, no integral completion exists — prune.
+			// auxiliaries by rounding up.
 			cand := append([]float64(nil), sol.X...)
 			ok := true
 			for _, v := range opts.CeilVars {
@@ -370,8 +391,18 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 			}
 			if ok && p.LP.Feasible(cand, 1e-7) {
 				accept(p.LP.Eval(cand), cand)
+				continue
 			}
-			continue
+			// The rounded completion is infeasible: ceiling variables couple
+			// through shared rows (per-stage block budgets), so rounding them
+			// all up can overrun a budget even though each alone is fine. The
+			// node's subproblem may still contain integral points with other
+			// decision values — branch on the most fractional ceiling
+			// variable rather than dropping the subtree.
+			branchVar = fractionalCeilVar(sol.X, opts)
+			if branchVar == -1 {
+				continue // fully integral yet infeasible: nothing below
+			}
 		}
 
 		// Primal heuristics: the naive snap-and-check, plus the caller's
@@ -453,6 +484,21 @@ func statusOnLimit(bestX []float64) Status {
 		return Feasible
 	}
 	return Limit
+}
+
+// fractionalCeilVar returns the most fractional ceiling-defined variable at
+// x, or -1 if all are integral. Used when the rounded-up completion of an
+// otherwise-integral node is infeasible: the node must branch on a ceiling
+// variable instead of being dropped.
+func fractionalCeilVar(x []float64, opts Options) int {
+	worst, branchVar := opts.IntTol, -1
+	for _, v := range opts.CeilVars {
+		f := x[v] - math.Floor(x[v])
+		if frac := math.Min(f, 1-f); frac > worst {
+			worst, branchVar = frac, v
+		}
+	}
+	return branchVar
 }
 
 // roundAndCheck snaps integer variables to the nearest integer within their

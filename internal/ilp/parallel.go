@@ -235,10 +235,17 @@ func worker(id int, p *Problem, opts Options, st *parState, deadline time.Time, 
 		if opts.WarmNodeLP {
 			lpOpts.WarmBasis = nd.warm
 		}
+		if nd.depth == 0 && opts.WarmBasis != nil {
+			lpOpts.WarmBasis = opts.WarmBasis
+		}
 		sol, err := q.Solve(lpOpts)
 
 		st.mu.Lock()
 		delete(st.inflight, id)
+		if err == nil && nd.depth == 0 {
+			st.res.RootBasis = sol.Basis
+			st.res.RootWarmed = sol.Warm
+		}
 		if err != nil {
 			if st.err == nil {
 				st.err = err
@@ -327,9 +334,16 @@ func worker(id int, p *Problem, opts Options, st *parState, deadline time.Time, 
 			}
 			if ok && p.LP.Feasible(cand, 1e-7) {
 				st.accept(p.LP.Eval(cand), cand)
+				finishNode()
+				continue
 			}
-			finishNode()
-			continue
+			// Rounding failed: branch on a fractional ceiling variable
+			// instead of dropping the subtree (see the serial engine).
+			branchVar = fractionalCeilVar(sol.X, opts)
+			if branchVar == -1 {
+				finishNode()
+				continue
+			}
 		}
 
 		// Primal heuristics run outside the lock (the caller's heuristic may

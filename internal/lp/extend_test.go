@@ -1,0 +1,112 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// growProblem builds a random bounded LP, solves it cold, then appends
+// variables and rows through the sole-owner mutators, mimicking what
+// model.Residual.Append does to the retained replan program.
+func growProblem(rng *rand.Rand) *Problem {
+	n := 4 + rng.Intn(4)
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetBounds(j, 0, 1+float64(rng.Intn(3)))
+		p.SetObjective(j, float64(rng.Intn(9)-2))
+	}
+	for i := 0; i < 3+rng.Intn(3); i++ {
+		var coeffs []Coef
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				coeffs = append(coeffs, Coef{Var: j, Val: float64(1 + rng.Intn(4))})
+			}
+		}
+		if coeffs == nil {
+			coeffs = []Coef{{Var: 0, Val: 1}}
+		}
+		p.AddRow(Row{Coeffs: coeffs, Op: LE, RHS: float64(2 + rng.Intn(6))})
+	}
+	return p
+}
+
+// TestBasisExtendWarmResolve pins the cross-replan warm-start mechanics:
+// grow a solved problem with AddVars / AddRow / ExtendRow / SetRHS, grow
+// the retained basis with Basis.Extend, and the re-solve must come back
+// warm with the same optimum a cold solve finds.
+func TestBasisExtendWarmResolve(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		p := growProblem(rng)
+		sol := solveOK(t, p)
+		if sol.Status != Optimal || sol.Basis == nil {
+			continue // degenerate optimum without a snapshot; nothing to extend
+		}
+
+		// Grow: one new variable entering an existing row, one new row over
+		// old and new variables, and a slackened RHS on an old row.
+		v := p.AddVars(1)
+		p.SetBounds(v, 0, 2)
+		p.SetObjective(v, 3)
+		p.ExtendRow(0, Coef{Var: v, Val: 1})
+		p.AddRow(Row{Coeffs: []Coef{{Var: 0, Val: 1}, {Var: v, Val: 2}}, Op: LE, RHS: 3})
+		p.SetRHS(1, p.RHS(1)+1)
+
+		nb := sol.Basis.Extend(1, 1)
+		if nv, nr := nb.Dims(); nv != p.NumVars() || nr != p.NumRows() {
+			t.Fatalf("seed %d: extended basis dims %d×%d, problem %d×%d", seed, nv, nr, p.NumVars(), p.NumRows())
+		}
+		warm, err := p.Solve(Options{WarmBasis: nb})
+		if err != nil {
+			t.Fatalf("seed %d: warm solve: %v", seed, err)
+		}
+		cold := solveOK(t, p)
+		if warm.Status != cold.Status {
+			t.Fatalf("seed %d: warm status %v, cold %v", seed, warm.Status, cold.Status)
+		}
+		if cold.Status == Optimal {
+			if math.Abs(warm.Objective-cold.Objective) > eps {
+				t.Errorf("seed %d: warm objective %v, cold %v", seed, warm.Objective, cold.Objective)
+			}
+			checkFeasible(t, p, warm.X)
+		}
+	}
+}
+
+// TestWarmBasisShapeMismatchFallsBackCold: a stale basis whose shape no
+// longer matches the problem must be ignored — the solve completes cold and
+// reports Warm = false.
+func TestWarmBasisShapeMismatchFallsBackCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	p := growProblem(rng)
+	sol := solveOK(t, p)
+	if sol.Basis == nil {
+		t.Skip("no basis snapshot on this instance")
+	}
+	p.AddVars(1) // shape changes; the old basis is stale
+	p.SetBounds(p.NumVars()-1, 0, 1)
+	got, err := p.Solve(Options{WarmBasis: sol.Basis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Warm {
+		t.Error("stale basis reported Warm")
+	}
+	if got.Status != Optimal {
+		t.Errorf("cold fallback status = %v", got.Status)
+	}
+}
+
+// TestBasisExtendRejectsNegative documents the nil contract on bad growth.
+func TestBasisExtendRejectsNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := growProblem(rng)
+	sol := solveOK(t, p)
+	if sol.Basis == nil {
+		t.Skip("no basis snapshot on this instance")
+	}
+	if sol.Basis.Extend(-1, 0) != nil || sol.Basis.Extend(0, -1) != nil {
+		t.Error("negative growth accepted")
+	}
+}

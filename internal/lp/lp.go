@@ -181,6 +181,48 @@ func (p *Problem) AddRow(r Row) int {
 	return len(p.rows) - 1
 }
 
+// AddVars appends k new variables with zero objective coefficient and
+// bounds [0, +inf), returning the index of the first. Like the other
+// delta-patch mutators (SetRHS, ExtendRow) it must only be called on a
+// problem the caller solely owns — mutating a problem while Clones of it
+// are still being solved corrupts the shared row storage.
+func (p *Problem) AddVars(k int) int {
+	first := p.n
+	p.n += k
+	p.c = append(p.c, make([]float64, k)...)
+	p.lower = append(p.lower, make([]float64, k)...)
+	for i := 0; i < k; i++ {
+		p.upper = append(p.upper, math.Inf(1))
+	}
+	p.invalidateSparse()
+	return first
+}
+
+// SetRHS resets one row's right-hand side (runtime update releases a
+// departed tenant's folded resource consumption this way). Sole-owner
+// mutator: see AddVars.
+func (p *Problem) SetRHS(row int, rhs float64) {
+	p.rows[row].RHS = rhs
+	// RHS is not part of the CSC cache; no invalidation needed.
+}
+
+// RHS returns one row's right-hand side.
+func (p *Problem) RHS(row int) float64 { return p.rows[row].RHS }
+
+// ExtendRow appends coefficients to an existing row (delta encoding adds a
+// new chain's variables to the shared resource rows). Sole-owner mutator:
+// see AddVars.
+func (p *Problem) ExtendRow(row int, coeffs ...Coef) {
+	r := &p.rows[row]
+	r.Coeffs = append(r.Coeffs, coeffs...)
+	p.invalidateSparse()
+}
+
+// invalidateSparse discards the cached CSC form by installing a fresh
+// cache struct: clones sharing the old pointer keep their (still valid for
+// their shape) build, while this problem rebuilds on next solve.
+func (p *Problem) invalidateSparse() { p.sparse = &sparseCache{} }
+
 // Clone deep-copies the problem, so branch-and-bound can tighten bounds on
 // child nodes without interference.
 func (p *Problem) Clone() *Problem {
@@ -231,6 +273,9 @@ type Solution struct {
 	// nil for some degenerate optima). Pass it as Options.WarmBasis to a
 	// re-solve of the same rows with changed bounds.
 	Basis *Basis
+	// Warm reports that the warm-start path produced this solution (false
+	// when Options.WarmBasis was absent, rejected, or fell back cold).
+	Warm bool
 }
 
 // Options tunes the solver. Zero values select defaults.
@@ -275,13 +320,15 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 			return &Solution{Status: Infeasible, X: make([]float64, p.n)}, nil
 		}
 	}
-	if wb := opts.WarmBasis; wb != nil {
+	if wb := opts.WarmBasis; wb != nil && wb.nVars == p.n && wb.nRows == len(p.rows) {
 		// Warm path: bypass presolve (the basis indexes the full problem)
-		// and re-optimize with dual simplex. Any trouble — mismatched
-		// shape, singular basis, iteration budget, or a claimed
-		// infeasibility — falls through to the cold path below.
+		// and re-optimize with dual simplex. The shape gate above keeps a
+		// stale basis from allocating a full simplex only to be rejected by
+		// installBasis. Any trouble — singular basis, iteration budget, or
+		// a claimed infeasibility — falls through to the cold path below.
 		s := newSimplex(p, opts)
 		if sol, ok := s.solveWarm(wb); ok {
+			sol.Warm = true
 			return sol, nil
 		}
 		opts.WarmBasis = nil

@@ -17,6 +17,51 @@ type Basis struct {
 	atUpper      []bool // per structural+slack variable
 }
 
+// Dims returns the (variables, rows) shape the basis was snapshot from.
+// Callers can compare against a problem's NumVars/NumRows to predict
+// whether installBasis would accept it, without constructing a simplex.
+func (b *Basis) Dims() (nVars, nRows int) { return b.nVars, b.nRows }
+
+// Extend adapts a basis to a problem that grew by addVars structural
+// variables and addRows rows, both appended after the snapshot was taken
+// (the delta-encoded replan appends a new chain's variables and chain-local
+// rows to the retained program). Old slack indices shift by addVars; new
+// structural variables enter nonbasic at their lower bound; each new row's
+// own slack becomes basic. Provided the new rows reference only new
+// variables, the extended basis matrix is block-diagonal with the old basis
+// and an identity, so it is exactly as nonsingular as the original and the
+// dual-simplex re-entry starts from the previous optimum with the new block
+// at its trivial corner. Returns a new Basis; the receiver is unchanged.
+func (b *Basis) Extend(addVars, addRows int) *Basis {
+	if addVars < 0 || addRows < 0 {
+		return nil
+	}
+	nb := &Basis{
+		nVars:   b.nVars + addVars,
+		nRows:   b.nRows + addRows,
+		basic:   make([]int, b.nRows+addRows),
+		atUpper: make([]bool, b.nVars+addVars+b.nRows+addRows),
+	}
+	for i, j := range b.basic {
+		if j >= b.nVars {
+			j += addVars // slack: keep pointing at the same row's slack
+		}
+		nb.basic[i] = j
+	}
+	for i := 0; i < addRows; i++ {
+		nb.basic[b.nRows+i] = nb.nVars + b.nRows + i
+	}
+	for j := 0; j < b.nVars; j++ {
+		nb.atUpper[j] = b.atUpper[j]
+	}
+	for i := 0; i < b.nRows; i++ {
+		nb.atUpper[nb.nVars+i] = b.atUpper[b.nVars+i]
+	}
+	// New structural variables rest at their lower bound (atUpper false);
+	// installBasis flips any whose lower bound turns out to be -inf.
+	return nb
+}
+
 // snapshotBasis captures the current basis, or nil if any artificial is
 // still basic (such a basis cannot be reinstalled on a problem whose
 // artificials are gone).

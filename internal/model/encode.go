@@ -22,6 +22,15 @@ type BuildOptions struct {
 	ExactConsistency bool
 }
 
+// auxEps is the tiny negative objective carried by the block (Y) and pass
+// (P) counters: they are lower-bounded counters the real objective ignores,
+// so without it the LP leaves them floating at arbitrary values and
+// branch-and-bound dives chase them forever. The perturbation pins them to
+// their minima; its total magnitude (≤1e-7·(I·S·B + L·R)) is far below any
+// bandwidth difference the experiments resolve. Build and BuildResidual
+// share it so the two formulations price identically.
+const auxEps = 1e-7
+
 // Encoded is a built placement program plus the variable maps needed to
 // decode solutions.
 type Encoded struct {
@@ -135,13 +144,6 @@ func Build(in *Instance, opts BuildOptions) (*Encoded, error) {
 			}
 		}
 	}
-	// The block (Y) and pass (P) counters carry a tiny negative objective:
-	// they are lower-bounded counters the real objective ignores, so
-	// without it the LP leaves them floating at arbitrary values and
-	// branch-and-bound dives chase them forever. The perturbation pins
-	// them to their minima; its total magnitude (≤1e-7·(I·S·B + L·R))
-	// is far below any bandwidth difference the experiments resolve.
-	const auxEps = 1e-7
 	for l := range in.Chains {
 		p.SetObjective(e.pIdx[l], -auxEps)
 	}

@@ -1,0 +1,603 @@
+package model
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sfp/internal/lp"
+)
+
+// residualBuilds counts BuildResidual invocations process-wide, so tests can
+// assert that the incremental replan path builds its program once and then
+// patches it, instead of re-encoding per replan (the residual counterpart of
+// BuildCalls).
+var residualBuilds atomic.Int64
+
+// ResidualBuilds returns the number of BuildResidual invocations so far.
+func ResidualBuilds() int64 { return residualBuilds.Load() }
+
+// chainState tracks what role an in-model chain block currently plays.
+type chainState int
+
+const (
+	// chainWaiting blocks carry free variables the next solve optimizes.
+	chainWaiting chainState = iota
+	// chainPinned blocks were admitted by a previous solve of this program;
+	// their variables are fixed to the admitted placement, so they keep
+	// consuming resources in the shared rows without re-deciding anything.
+	chainPinned
+	// chainDead blocks departed (or were withdrawn) while in the model;
+	// their variables are fixed to zero, releasing their resources.
+	chainDead
+)
+
+// chainBlock is one in-model chain's variable block.
+type chainBlock struct {
+	c      *Chain
+	z      [][]int // [j][k] -> var, or -1 outside the window / off the layout
+	p      int     // pass-counter variable
+	state  chainState
+	stages []int // admitted placement, when state == chainPinned
+}
+
+// Residual is the pinned-tenant-eliminated replan program (runtime update,
+// §V-E). Where the full Build + PinChain + PinPhysical path carries every
+// tenant as fixed-bound variables, the residual formulation never creates
+// them: pinned survivors are folded into the constraint right-hand sides
+// (consumed stage memory, per-stage blocks, backplane bandwidth), the fixed
+// physical layout eliminates the x variables entirely (a z slot exists only
+// where the layout already has the box's NF type, which is exactly the
+// Eq. 9 consistency feasible set under pinned x), and variables exist only
+// for the waiting chains. The program is retained across replans and
+// patched in place:
+//
+//   - Append adds an arriving chain's block (new variables + chain-local
+//     rows, shared resource rows extended),
+//   - ReleaseFolded gives a folded survivor's consumption back to the RHS
+//     when it departs,
+//   - Kill zeroes an in-model chain's block on departure/withdrawal,
+//   - PinTo fixes an admitted chain's block to its placement.
+//
+// Equivalence to the full model (proved by the crosscheck tests): for every
+// feasible point of one formulation there is a feasible point of the other
+// with the same chain placements, and the Eq. 1 objectives differ by the
+// constant ObjOffset (the pinned survivors' contribution). The folding of
+// per-cell block counters uses ceil(pinnedRules/E) — the exact value the
+// full model's Y takes at any optimum, since Y carries a negative auxEps
+// objective and appears only in ≤ rows with nonnegative coefficients.
+//
+// A Residual is NOT safe for concurrent mutation; the solver may clone its
+// Prob freely during a solve, but Append/ExtendRow-style patching must only
+// happen between solves (see lp.Problem.AddVars).
+type Residual struct {
+	sw       SwitchConfig
+	numTypes int
+	recirc   int
+	opts     BuildOptions
+	layout   [][]bool
+	K        int
+
+	// Prob is the patched linear program. Solve it via ilp with IntVars and
+	// AuxVars; DecodeStages maps the solution back to chain placements.
+	Prob *lp.Problem
+
+	intVars []int
+	auxVars []int
+
+	// pinnedRules[i][s] is the folded survivors' rule total per
+	// (type, physical stage) cell (consolidated mode).
+	pinnedRules [][]int
+	// yIdx/memRow are the per-cell block counter and Eq. 11 row, or -1
+	// while the cell is folded (no waiting candidate can land there, so the
+	// counter is the constant ceil(pinnedRules/E) charged to blocksRow).
+	yIdx   [][]int
+	memRow [][]int
+	// blocksRow is the per-stage Σ_i Y ≤ B row (consolidated); stageRow is
+	// the per-stage Eq. 25 row (non-consolidated).
+	blocksRow []int
+	stageRow  []int
+	// capRow is the backplane row; its RHS is C minus the folded load.
+	capRow int
+
+	chains map[int]*chainBlock
+
+	waiting, pinned, dead int
+	objOffset             float64
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// BuildResidual encodes the replan subproblem: in holds every known chain
+// (the same snapshot the full path would Build), live maps chain ID to the
+// virtual stages of pinned survivors, and layout is the fixed physical
+// placement. Chains present in live are folded into the RHS; all others
+// become waiting variable blocks. Every NF type must have a physical
+// instance in layout (Eq. 4 under pinned x) — the same invariant Verify
+// enforces on the state the Updater maintains.
+func BuildResidual(in *Instance, live map[int][]int, layout [][]bool, opts BuildOptions) (*Residual, error) {
+	residualBuilds.Add(1)
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	S := in.Switch.Stages
+	r := &Residual{
+		sw:       in.Switch,
+		numTypes: in.NumTypes,
+		recirc:   in.Recirc,
+		opts:     opts,
+		K:        in.K(),
+		layout:   make([][]bool, in.NumTypes),
+		chains:   make(map[int]*chainBlock),
+	}
+	if len(layout) != in.NumTypes {
+		return nil, fmt.Errorf("model: residual layout has %d types, instance %d", len(layout), in.NumTypes)
+	}
+	for i := range layout {
+		if len(layout[i]) != S {
+			return nil, fmt.Errorf("model: residual layout type %d has %d stages, switch %d", i+1, len(layout[i]), S)
+		}
+		r.layout[i] = append([]bool(nil), layout[i]...)
+		found := false
+		for s := 0; s < S; s++ {
+			found = found || layout[i][s]
+		}
+		if !found {
+			return nil, fmt.Errorf("model: residual layout misses type %d (Eq. 4)", i+1)
+		}
+	}
+
+	r.pinnedRules = make([][]int, in.NumTypes)
+	r.yIdx = make([][]int, in.NumTypes)
+	r.memRow = make([][]int, in.NumTypes)
+	for i := 0; i < in.NumTypes; i++ {
+		r.pinnedRules[i] = make([]int, S)
+		r.yIdx[i] = make([]int, S)
+		r.memRow[i] = make([]int, S)
+		for s := 0; s < S; s++ {
+			r.yIdx[i][s], r.memRow[i][s] = -1, -1
+		}
+	}
+
+	// Fold the pinned survivors into per-cell rule totals, the per-stage
+	// block loads (non-consolidated), and the backplane load.
+	stageBlocks := make([]int, S) // Eq. 25 folded blocks per stage
+	capLoad := 0.0
+	for _, c := range in.Chains {
+		st, ok := live[c.ID]
+		if !ok {
+			continue
+		}
+		if len(st) != c.Len() {
+			return nil, fmt.Errorf("model: residual pin chain %d: %d stages for %d boxes", c.ID, len(st), c.Len())
+		}
+		for j, k := range st {
+			i := c.NFs[j].Type - 1
+			if k < 0 || k >= r.K || !r.layout[i][k%S] {
+				return nil, fmt.Errorf("model: residual pin chain %d box %d: stage %d invalid", c.ID, j, k)
+			}
+			r.pinnedRules[i][k%S] += c.NFs[j].Rules
+			stageBlocks[k%S] += ceilDiv(c.NFs[j].Rules, in.Switch.EntriesPerBlock)
+		}
+		capLoad += float64(st[c.Len()-1]/S+1) * c.BandwidthGbps
+		r.objOffset += c.BandwidthGbps * float64(c.Len())
+	}
+
+	// Shared resource rows exist from the start — with empty coefficient
+	// lists when no waiting chain touches them yet — so Append never has to
+	// create them (only mem rows appear lazily, per un-folded cell).
+	p := lp.NewProblem(0)
+	r.Prob = p
+	B := float64(in.Switch.BlocksPerStage)
+	if opts.Consolidate {
+		r.blocksRow = make([]int, S)
+		for s := 0; s < S; s++ {
+			rhs := B
+			for i := 0; i < in.NumTypes; i++ {
+				rhs -= float64(ceilDiv(r.pinnedRules[i][s], in.Switch.EntriesPerBlock))
+			}
+			r.blocksRow[s] = p.AddRow(lp.Row{Op: lp.LE, RHS: rhs, Name: fmt.Sprintf("rblocks-s%d", s)})
+		}
+	} else {
+		r.stageRow = make([]int, S)
+		for s := 0; s < S; s++ {
+			r.stageRow[s] = p.AddRow(lp.Row{Op: lp.LE, RHS: B - float64(stageBlocks[s]),
+				Name: fmt.Sprintf("rstage-s%d", s)})
+		}
+	}
+	r.capRow = p.AddRow(lp.Row{Op: lp.LE, RHS: in.Switch.CapacityGbps - capLoad, Name: "rbackplane"})
+
+	for _, c := range in.Chains {
+		if _, ok := live[c.ID]; ok {
+			continue
+		}
+		r.appendChain(c)
+	}
+	return r, nil
+}
+
+// appendChain emits one waiting chain's variable block and rows. Build and
+// Append share it, so an appended chain's structure is identical to one
+// present at build time.
+func (r *Residual) appendChain(c *Chain) {
+	p := r.Prob
+	S, K, J := r.sw.Stages, r.K, c.Len()
+	cb := &chainBlock{c: c, z: make([][]int, J)}
+
+	for j := 0; j < J; j++ {
+		cb.z[j] = make([]int, K)
+		i := c.NFs[j].Type - 1
+		for k := 0; k < K; k++ {
+			cb.z[j][k] = -1
+			// Order-feasibility window (as in Build) AND the fixed layout:
+			// with x pinned, Eq. 9 admits z only where the type is deployed.
+			if k < j || k > K-1-(J-1-j) || !r.layout[i][k%S] {
+				continue
+			}
+			v := p.AddVars(1)
+			p.SetBounds(v, 0, 1)
+			if j == 0 {
+				// Objective (Eq. 1): d_l·T_l·J_l with d_l = Σ_k z_{l,0,k}.
+				p.SetObjective(v, c.BandwidthGbps*float64(J))
+			}
+			r.intVars = append(r.intVars, v)
+			cb.z[j][k] = v
+		}
+	}
+	cb.p = p.AddVars(1)
+	p.SetBounds(cb.p, 0, float64(r.recirc+1))
+	p.SetObjective(cb.p, -auxEps)
+	r.intVars = append(r.intVars, cb.p)
+	r.auxVars = append(r.auxVars, cb.p)
+
+	// Memory coupling into the shared rows.
+	E := r.sw.EntriesPerBlock
+	if r.opts.Consolidate {
+		type cell struct{ i, s int }
+		perCell := map[cell][]lp.Coef{}
+		var order []cell // deterministic (box, stage) first-touch order
+		for j := 0; j < J; j++ {
+			i := c.NFs[j].Type - 1
+			f := float64(c.NFs[j].Rules)
+			for k := 0; k < K; k++ {
+				if v := cb.z[j][k]; v >= 0 {
+					key := cell{i, k % S}
+					if _, ok := perCell[key]; !ok {
+						order = append(order, key)
+					}
+					perCell[key] = append(perCell[key], lp.Coef{Var: v, Val: f})
+				}
+			}
+		}
+		for _, key := range order {
+			i, s := key.i, key.s
+			if r.yIdx[i][s] < 0 {
+				// First candidate for this cell: un-fold it. The block
+				// counter Y reappears as a variable, and the constant
+				// ceil(pinnedRules/E) it replaced moves from the blocks-row
+				// RHS back into the row as Y's coefficient — the row's
+				// feasible set is unchanged at the old optimum (Y's minimum
+				// under the new mem row is exactly the old constant).
+				y := p.AddVars(1)
+				p.SetBounds(y, 0, float64(r.sw.BlocksPerStage))
+				p.SetObjective(y, -auxEps)
+				r.intVars = append(r.intVars, y)
+				r.auxVars = append(r.auxVars, y)
+				r.yIdx[i][s] = y
+				charge := float64(ceilDiv(r.pinnedRules[i][s], E))
+				p.SetRHS(r.blocksRow[s], p.RHS(r.blocksRow[s])+charge)
+				p.ExtendRow(r.blocksRow[s], lp.Coef{Var: y, Val: 1})
+				r.memRow[i][s] = p.AddRow(lp.Row{
+					Coeffs: append([]lp.Coef{{Var: y, Val: -float64(E)}}, perCell[key]...),
+					Op:     lp.LE, RHS: -float64(r.pinnedRules[i][s]),
+					Name: fmt.Sprintf("rmem-i%d-s%d", i+1, s),
+				})
+			} else {
+				p.ExtendRow(r.memRow[i][s], perCell[key]...)
+			}
+		}
+	} else {
+		perStage := make([][]lp.Coef, S)
+		for j := 0; j < J; j++ {
+			blocks := float64(ceilDiv(c.NFs[j].Rules, E))
+			for k := 0; k < K; k++ {
+				if v := cb.z[j][k]; v >= 0 {
+					perStage[k%S] = append(perStage[k%S], lp.Coef{Var: v, Val: blocks})
+				}
+			}
+		}
+		for s := 0; s < S; s++ {
+			if len(perStage[s]) > 0 {
+				p.ExtendRow(r.stageRow[s], perStage[s]...)
+			}
+		}
+	}
+
+	// Chain-local rows, mirroring Build: Eq. 5 (once), Eq. 7 (fate), Eq. 8
+	// (order), and the pass-counter definition of Eq. 12. Rows with no
+	// coefficients are trivially satisfied and skipped — in particular a box
+	// with no layout-feasible slot leaves its once row empty, and the fate
+	// rows then force the whole chain undeployed, exactly as the full
+	// model's consistency rows do under the pinned layout.
+	for j := 0; j < J; j++ {
+		var coeffs []lp.Coef
+		for k := 0; k < K; k++ {
+			if v := cb.z[j][k]; v >= 0 {
+				coeffs = append(coeffs, lp.Coef{Var: v, Val: 1})
+			}
+		}
+		if len(coeffs) > 0 {
+			p.AddRow(lp.Row{Coeffs: coeffs, Op: lp.LE, RHS: 1, Name: fmt.Sprintf("rc%d-box%d-once", c.ID, j)})
+		}
+	}
+	for j := 0; j+1 < J; j++ {
+		var fate, ord []lp.Coef
+		for k := 0; k < K; k++ {
+			if v := cb.z[j][k]; v >= 0 {
+				fate = append(fate, lp.Coef{Var: v, Val: 1})
+				ord = append(ord, lp.Coef{Var: v, Val: -float64(k + 1)})
+			}
+			if v := cb.z[j+1][k]; v >= 0 {
+				fate = append(fate, lp.Coef{Var: v, Val: -1})
+				ord = append(ord, lp.Coef{Var: v, Val: float64(k+1) - 1})
+			}
+		}
+		if len(fate) > 0 {
+			p.AddRow(lp.Row{Coeffs: fate, Op: lp.EQ, RHS: 0, Name: fmt.Sprintf("rc%d-fate%d", c.ID, j)})
+		}
+		if len(ord) > 0 {
+			p.AddRow(lp.Row{Coeffs: ord, Op: lp.GE, RHS: 0, Name: fmt.Sprintf("rc%d-order%d", c.ID, j)})
+		}
+	}
+	passes := []lp.Coef{{Var: cb.p, Val: -float64(S)}}
+	for k := 0; k < K; k++ {
+		if v := cb.z[J-1][k]; v >= 0 {
+			passes = append(passes, lp.Coef{Var: v, Val: float64(k + 1)})
+		}
+	}
+	p.AddRow(lp.Row{Coeffs: passes, Op: lp.LE, RHS: 0, Name: fmt.Sprintf("rc%d-passes", c.ID)})
+	p.ExtendRow(r.capRow, lp.Coef{Var: cb.p, Val: c.BandwidthGbps})
+
+	r.chains[c.ID] = cb
+	r.waiting++
+}
+
+// Append patches an arriving chain into the retained program and reports
+// how many variables and rows were added (so a retained warm basis can be
+// grown with lp.Basis.Extend). The chain ID must not already be in-model.
+func (r *Residual) Append(c *Chain) (addedVars, addedRows int, err error) {
+	if _, ok := r.chains[c.ID]; ok {
+		return 0, 0, fmt.Errorf("model: residual chain %d already in-model", c.ID)
+	}
+	for j, b := range c.NFs {
+		if b.Type < 1 || b.Type > r.numTypes {
+			return 0, 0, fmt.Errorf("model: residual chain %d box %d type %d outside [1,%d]", c.ID, j, b.Type, r.numTypes)
+		}
+	}
+	v0, r0 := r.Prob.NumVars(), r.Prob.NumRows()
+	r.appendChain(c)
+	return r.Prob.NumVars() - v0, r.Prob.NumRows() - r0, nil
+}
+
+// Has reports whether the chain is carried in-model (waiting, pinned, or
+// dead). Folded survivors are not in-model; their departure goes through
+// ReleaseFolded instead of Kill.
+func (r *Residual) Has(id int) bool { _, ok := r.chains[id]; return ok }
+
+// Kill zeroes an in-model chain's block: its z and pass variables are fixed
+// to 0, releasing everything it consumed in the shared rows. Used when a
+// waiting candidate is withdrawn or a pinned (admitted-in-model) chain
+// departs.
+func (r *Residual) Kill(id int) error {
+	cb, ok := r.chains[id]
+	if !ok {
+		return fmt.Errorf("model: residual chain %d not in-model", id)
+	}
+	if cb.state == chainDead {
+		return nil
+	}
+	for j := range cb.z {
+		for k := 0; k < r.K; k++ {
+			if v := cb.z[j][k]; v >= 0 {
+				r.Prob.SetBounds(v, 0, 0)
+			}
+		}
+	}
+	r.Prob.SetBounds(cb.p, 0, 0)
+	if cb.state == chainPinned {
+		r.pinned--
+		r.objOffset -= cb.c.BandwidthGbps * float64(cb.c.Len())
+	} else {
+		r.waiting--
+	}
+	cb.state, cb.stages = chainDead, nil
+	r.dead++
+	return nil
+}
+
+// PinTo fixes an admitted in-model chain to its placement: the solved-for z
+// variables become constants, so subsequent solves of the same program keep
+// its resource consumption without re-deciding it.
+func (r *Residual) PinTo(id int, stages []int) error {
+	cb, ok := r.chains[id]
+	if !ok {
+		return fmt.Errorf("model: residual chain %d not in-model", id)
+	}
+	if cb.state == chainDead {
+		return fmt.Errorf("model: residual chain %d is dead", id)
+	}
+	J := cb.c.Len()
+	if len(stages) != J {
+		return fmt.Errorf("model: residual pin chain %d: %d stages for %d boxes", id, len(stages), J)
+	}
+	for j := 0; j < J; j++ {
+		want := stages[j]
+		if want < 0 || want >= r.K || cb.z[j][want] < 0 {
+			return fmt.Errorf("model: residual pin chain %d box %d: stage %d invalid", id, j, want)
+		}
+	}
+	for j := 0; j < J; j++ {
+		for k := 0; k < r.K; k++ {
+			v := cb.z[j][k]
+			if v < 0 {
+				continue
+			}
+			if k == stages[j] {
+				r.Prob.SetBounds(v, 1, 1)
+			} else {
+				r.Prob.SetBounds(v, 0, 0)
+			}
+		}
+	}
+	pass := float64(stages[J-1]/r.sw.Stages + 1)
+	r.Prob.SetBounds(cb.p, pass, pass)
+	if cb.state == chainWaiting {
+		r.waiting--
+		r.pinned++
+		r.objOffset += cb.c.BandwidthGbps * float64(J)
+	}
+	cb.state = chainPinned
+	cb.stages = append([]int(nil), stages...)
+	return nil
+}
+
+// ReleaseFolded gives a folded survivor's consumption back to the RHS when
+// it departs: per-cell pinned rules shrink (and with them the folded block
+// charge or the mem-row RHS), the per-stage block load shrinks
+// (non-consolidated), and the backplane regains the chain's bandwidth.
+func (r *Residual) ReleaseFolded(c *Chain, stages []int) error {
+	if _, ok := r.chains[c.ID]; ok {
+		return fmt.Errorf("model: residual chain %d is in-model; use Kill", c.ID)
+	}
+	if len(stages) != c.Len() {
+		return fmt.Errorf("model: residual release chain %d: %d stages for %d boxes", c.ID, len(stages), c.Len())
+	}
+	E := r.sw.EntriesPerBlock
+	for j, k := range stages {
+		i := c.NFs[j].Type - 1
+		if k < 0 || k >= r.K {
+			return fmt.Errorf("model: residual release chain %d box %d: stage %d invalid", c.ID, j, k)
+		}
+		s := k % r.sw.Stages
+		if r.opts.Consolidate {
+			old := r.pinnedRules[i][s]
+			if old < c.NFs[j].Rules {
+				return fmt.Errorf("model: residual release chain %d box %d: %d rules folded at cell (%d,%d), releasing %d",
+					c.ID, j, old, i+1, s, c.NFs[j].Rules)
+			}
+			r.pinnedRules[i][s] = old - c.NFs[j].Rules
+			if r.memRow[i][s] >= 0 {
+				r.Prob.SetRHS(r.memRow[i][s], -float64(r.pinnedRules[i][s]))
+			} else {
+				give := float64(ceilDiv(old, E) - ceilDiv(r.pinnedRules[i][s], E))
+				r.Prob.SetRHS(r.blocksRow[s], r.Prob.RHS(r.blocksRow[s])+give)
+			}
+		} else {
+			give := float64(ceilDiv(c.NFs[j].Rules, E))
+			r.Prob.SetRHS(r.stageRow[s], r.Prob.RHS(r.stageRow[s])+give)
+		}
+	}
+	pass := float64(stages[c.Len()-1]/r.sw.Stages + 1)
+	r.Prob.SetRHS(r.capRow, r.Prob.RHS(r.capRow)+pass*c.BandwidthGbps)
+	r.objOffset -= c.BandwidthGbps * float64(c.Len())
+	return nil
+}
+
+// IntVars returns every integral variable of the program (z, pass and block
+// counters), for ilp.Problem.
+func (r *Residual) IntVars() []int { return r.intVars }
+
+// AuxVars returns the ceiling-defined auxiliary integers (pass counters and,
+// under consolidation, block counters) for ilp.Options.CeilVars.
+func (r *Residual) AuxVars() []int { return r.auxVars }
+
+// ObjOffset is the pinned chains' Eq. 1 contribution: the full model's
+// objective equals the residual objective plus this constant (modulo the
+// auxEps perturbation terms).
+func (r *Residual) ObjOffset() float64 { return r.objOffset }
+
+// Loads reports the in-model block census: free waiting candidates, pinned
+// admitted blocks, and dead (departed) blocks. The Updater's compaction
+// policy rebuilds the program when dead+pinned ballast outweighs the
+// waiting set.
+func (r *Residual) Loads() (waiting, pinned, dead int) {
+	return r.waiting, r.pinned, r.dead
+}
+
+// DecodeStages maps an integral solution back to chain placements: chain ID
+// to virtual stages, for every in-model chain the solution deploys (pinned
+// blocks decode to their pinned placement; dead blocks never appear).
+// Binaries snap at the 0.5 threshold, as in Encoded.Decode.
+func (r *Residual) DecodeStages(x []float64) map[int][]int {
+	out := make(map[int][]int)
+	for id, cb := range r.chains {
+		switch cb.state {
+		case chainDead:
+			continue
+		case chainPinned:
+			out[id] = append([]int(nil), cb.stages...)
+			continue
+		}
+		J := cb.c.Len()
+		st := make([]int, J)
+		full := true
+		for j := 0; j < J; j++ {
+			st[j] = -1
+			for k := 0; k < r.K; k++ {
+				if v := cb.z[j][k]; v >= 0 && x[v] > 0.5 {
+					st[j] = k
+					break
+				}
+			}
+			full = full && st[j] >= 0
+		}
+		if full {
+			out[id] = st
+		}
+	}
+	return out
+}
+
+// EncodeAssignment converts concrete placements of in-model chains into a
+// point over the program's variables — the cross-feasibility vector the
+// equivalence tests check with Prob.Feasible. stages maps chain ID to
+// virtual stages for every chain to deploy; in-model chains absent from the
+// map stay undeployed (their variables at 0). Pass counters take the exact
+// pass count and block counters the per-cell ceil, as in the full model's
+// EncodeAssignment.
+func (r *Residual) EncodeAssignment(stages map[int][]int) ([]float64, error) {
+	x := make([]float64, r.Prob.NumVars())
+	S := r.sw.Stages
+	placedRules := make([][]int, r.numTypes)
+	for i := range placedRules {
+		placedRules[i] = make([]int, S)
+	}
+	for id, st := range stages {
+		cb, ok := r.chains[id]
+		if !ok {
+			return nil, fmt.Errorf("model: residual encode: chain %d not in-model", id)
+		}
+		J := cb.c.Len()
+		if len(st) != J {
+			return nil, fmt.Errorf("model: residual encode chain %d: %d stages for %d boxes", id, len(st), J)
+		}
+		for j, k := range st {
+			if k < 0 || k >= r.K || cb.z[j][k] < 0 {
+				return nil, fmt.Errorf("model: residual encode chain %d box %d: stage %d outside window/layout", id, j, k)
+			}
+			x[cb.z[j][k]] = 1
+			placedRules[cb.c.NFs[j].Type-1][k%S] += cb.c.NFs[j].Rules
+		}
+		x[cb.p] = float64(st[J-1]/S + 1)
+	}
+	if r.opts.Consolidate {
+		E := r.sw.EntriesPerBlock
+		for i := 0; i < r.numTypes; i++ {
+			for s := 0; s < S; s++ {
+				if y := r.yIdx[i][s]; y >= 0 {
+					x[y] = float64(ceilDiv(r.pinnedRules[i][s]+placedRules[i][s], E))
+				}
+			}
+		}
+	}
+	return x, nil
+}

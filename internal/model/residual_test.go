@@ -1,0 +1,329 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sfp/internal/ilp"
+)
+
+// solveResidual solves the residual program to optimality and returns the
+// decoded placements plus the raw solver objective.
+func solveResidual(t *testing.T, r *Residual) (map[int][]int, float64) {
+	t.Helper()
+	res, err := ilp.Solve(&ilp.Problem{LP: r.Prob, IntVars: r.IntVars()}, ilp.Options{CeilVars: r.AuxVars()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != ilp.Optimal {
+		t.Fatalf("residual IP status = %v", res.Status)
+	}
+	return r.DecodeStages(res.X), res.Objective
+}
+
+// residualScenario solves a random instance cold, takes the deployed chains
+// as pinned survivors and the solved X as the fixed layout, then injects
+// fresh arrivals as the waiting set. Returns the grown instance, the live
+// map, and the layout.
+func residualScenario(t *testing.T, rng *rand.Rand, consolidate bool) (*Instance, map[int][]int, [][]bool) {
+	t.Helper()
+	in := randomInstance(rng, 3, 4)
+	a0, _ := solveIP(t, in, BuildOptions{Consolidate: consolidate})
+	live := make(map[int][]int)
+	for l, c := range in.Chains {
+		if a0.Deployed(l) {
+			live[c.ID] = append([]int(nil), a0.Stages[l]...)
+		}
+	}
+	layout := make([][]bool, in.NumTypes)
+	for i := range layout {
+		layout[i] = append([]bool(nil), a0.X[i]...)
+	}
+	// Fresh arrivals compete for whatever the survivors left.
+	for n := 0; n < 3; n++ {
+		J := 1 + rng.Intn(3)
+		ch := &Chain{ID: 1000 + n, BandwidthGbps: 1 + float64(rng.Intn(20))}
+		for j := 0; j < J; j++ {
+			ch.NFs = append(ch.NFs, ChainNF{Type: 1 + rng.Intn(in.NumTypes), Rules: 20 + rng.Intn(120)})
+		}
+		in.Chains = append(in.Chains, ch)
+	}
+	return in, live, layout
+}
+
+// assembleResidual merges pinned survivors and residual-placed chains into
+// a full Assignment over the instance.
+func assembleResidual(in *Instance, layout [][]bool, live, placed map[int][]int) *Assignment {
+	a := NewAssignment(in)
+	for i := range layout {
+		copy(a.X[i], layout[i])
+	}
+	for l, c := range in.Chains {
+		if st, ok := live[c.ID]; ok {
+			copy(a.Stages[l], st)
+		} else if st, ok := placed[c.ID]; ok {
+			copy(a.Stages[l], st)
+		}
+	}
+	return a
+}
+
+// TestResidualMatchesPinnedFull is the tentpole equivalence proof: the
+// pinned-tenant-eliminated residual program and the full Build + PinPhysical
+// + PinChain reference must reach the same optimum over randomized replan
+// scenarios, and each optimum must encode feasibly into the *other*
+// formulation (bidirectional crosscheck).
+func TestResidualMatchesPinnedFull(t *testing.T) {
+	for _, consolidate := range []bool{true, false} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(400 + seed))
+			opts := BuildOptions{Consolidate: consolidate}
+			in, live, layout := residualScenario(t, rng, consolidate)
+
+			// Reference: full model, survivors pinned, layout fixed.
+			enc, err := Build(in, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc.PinPhysical(layout)
+			for l, c := range in.Chains {
+				if st, ok := live[c.ID]; ok {
+					if err := enc.PinChain(l, st); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			fullRes, err := ilp.Solve(&ilp.Problem{LP: enc.Prob, IntVars: enc.IntVars},
+				ilp.Options{PriorityVars: enc.XVars(), CeilVars: enc.AuxVars()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fullRes.Status != ilp.Optimal {
+				t.Fatalf("consolidate=%v seed=%d: full IP status = %v", consolidate, seed, fullRes.Status)
+			}
+			aFull := enc.Decode(fullRes.X)
+			if err := Verify(in, aFull, consolidate); err != nil {
+				t.Fatalf("consolidate=%v seed=%d: full assignment: %v", consolidate, seed, err)
+			}
+			mFull := ComputeMetrics(in, aFull, consolidate)
+
+			// Residual subproblem over the same snapshot.
+			resid, err := BuildResidual(in, live, layout, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			placed, residObj := solveResidual(t, resid)
+			aRes := assembleResidual(in, layout, live, placed)
+			if err := Verify(in, aRes, consolidate); err != nil {
+				t.Fatalf("consolidate=%v seed=%d: residual assignment: %v", consolidate, seed, err)
+			}
+			mRes := ComputeMetrics(in, aRes, consolidate)
+
+			// Same optimum (Eq. 1 is placement-determined; auxEps noise is
+			// orders of magnitude below the 1e-6 tolerance).
+			if math.Abs(mRes.Objective-mFull.Objective) > 1e-6 {
+				t.Errorf("consolidate=%v seed=%d: residual objective %v, full %v",
+					consolidate, seed, mRes.Objective, mFull.Objective)
+			}
+			// The solver's residual objective plus the folded survivors'
+			// constant must also reproduce Eq. 1.
+			if got := residObj + resid.ObjOffset(); math.Abs(got-mRes.Objective) > 1e-3 {
+				t.Errorf("consolidate=%v seed=%d: residObj+offset = %v, metrics objective %v",
+					consolidate, seed, got, mRes.Objective)
+			}
+
+			// Crosscheck 1: the residual optimum is a feasible point of the
+			// pinned full model, and decodes back bit-identically.
+			xFull, err := enc.EncodeAssignment(aRes)
+			if err != nil {
+				t.Fatalf("consolidate=%v seed=%d: encode residual into full: %v", consolidate, seed, err)
+			}
+			if !enc.Prob.Feasible(xFull, 1e-6) {
+				t.Errorf("consolidate=%v seed=%d: residual optimum infeasible in full model", consolidate, seed)
+			}
+			back := enc.Decode(xFull)
+			for l := range in.Chains {
+				for j := range back.Stages[l] {
+					if back.Stages[l][j] != aRes.Stages[l][j] {
+						t.Fatalf("consolidate=%v seed=%d: decode roundtrip moved chain %d box %d",
+							consolidate, seed, in.Chains[l].ID, j)
+					}
+				}
+			}
+
+			// Crosscheck 2: the full optimum's waiting placements are a
+			// feasible point of the residual program.
+			fullPlaced := make(map[int][]int)
+			for l, c := range in.Chains {
+				if _, pinned := live[c.ID]; !pinned && aFull.Deployed(l) {
+					fullPlaced[c.ID] = append([]int(nil), aFull.Stages[l]...)
+				}
+			}
+			xRes, err := resid.EncodeAssignment(fullPlaced)
+			if err != nil {
+				t.Fatalf("consolidate=%v seed=%d: encode full into residual: %v", consolidate, seed, err)
+			}
+			if !resid.Prob.Feasible(xRes, 1e-6) {
+				t.Errorf("consolidate=%v seed=%d: full optimum infeasible in residual model", consolidate, seed)
+			}
+		}
+	}
+}
+
+// TestResidualDeltaMatchesFresh churns one retained residual program through
+// Append / Kill / PinTo / ReleaseFolded and checks after every step that it
+// solves to the same optimum as a from-scratch BuildResidual over the
+// equivalent snapshot — the delta patches never drift from the semantics.
+func TestResidualDeltaMatchesFresh(t *testing.T) {
+	for _, consolidate := range []bool{true, false} {
+		rng := rand.New(rand.NewSource(77))
+		opts := BuildOptions{Consolidate: consolidate}
+		in, live, layout := residualScenario(t, rng, consolidate)
+
+		patched, err := BuildResidual(in, live, layout, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shadow state: the instance and live map a fresh build would see.
+		chains := make(map[int]*Chain)
+		for _, c := range in.Chains {
+			chains[c.ID] = c
+		}
+		nextID := 2000
+
+		check := func(step string) {
+			t.Helper()
+			snap := &Instance{Switch: in.Switch, NumTypes: in.NumTypes, Recirc: in.Recirc}
+			for _, c := range in.Chains { // stable order: original, then arrivals by ID
+				if _, ok := chains[c.ID]; ok {
+					snap.Chains = append(snap.Chains, c)
+				}
+			}
+			for id := 2000; id < nextID; id++ {
+				if c, ok := chains[id]; ok {
+					snap.Chains = append(snap.Chains, c)
+				}
+			}
+			fresh, err := BuildResidual(snap, live, layout, opts)
+			if err != nil {
+				t.Fatalf("%s: fresh build: %v", step, err)
+			}
+			_, freshObj := solveResidual(t, fresh)
+			_, patchObj := solveResidual(t, patched)
+			got := patchObj + patched.ObjOffset()
+			want := freshObj + fresh.ObjOffset()
+			if math.Abs(got-want) > 1e-3 {
+				t.Fatalf("%s (consolidate=%v): patched optimum %v, fresh %v", step, consolidate, got, want)
+			}
+		}
+
+		check("initial")
+
+		// Arrival: patch via Append.
+		arr := &Chain{ID: nextID, BandwidthGbps: 8, NFs: []ChainNF{
+			{Type: 1 + rng.Intn(in.NumTypes), Rules: 60},
+			{Type: 1 + rng.Intn(in.NumTypes), Rules: 40},
+		}}
+		nextID++
+		if _, _, err := patched.Append(arr); err != nil {
+			t.Fatal(err)
+		}
+		chains[arr.ID] = arr
+		check("append")
+
+		// Admit: solve, pin every placed waiting chain in both worlds.
+		placed, _ := solveResidual(t, patched)
+		for id, st := range placed {
+			if _, already := live[id]; already {
+				continue
+			}
+			if err := patched.PinTo(id, st); err != nil {
+				t.Fatalf("pin %d: %v", id, err)
+			}
+			live[id] = append([]int(nil), st...)
+		}
+		check("pin")
+
+		// Departure of a folded survivor (present before the residual was
+		// built, so not in-model): RHS release.
+		for id, st := range live {
+			if patched.Has(id) {
+				continue
+			}
+			if err := patched.ReleaseFolded(chains[id], st); err != nil {
+				t.Fatalf("release %d: %v", id, err)
+			}
+			delete(live, id)
+			delete(chains, id)
+			break
+		}
+		check("release-folded")
+
+		// Departure of an in-model chain (pinned or waiting): Kill.
+		for id := range patched.chains {
+			if err := patched.Kill(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, id)
+			delete(chains, id)
+			break
+		}
+		check("kill")
+	}
+}
+
+// TestResidualEdgeCases covers the degenerate replan states: an empty
+// waiting set builds a variable-free program, an all-departed state regrows
+// from an empty live map, and a layout missing an NF type is rejected
+// (Eq. 4 cannot hold).
+func TestResidualEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in, live, layout := residualScenario(t, rng, true)
+
+	// Everyone lives: nothing to optimize.
+	allLive := make(map[int][]int, len(in.Chains))
+	full := &Instance{Switch: in.Switch, NumTypes: in.NumTypes, Recirc: in.Recirc}
+	for _, c := range in.Chains {
+		if st, ok := live[c.ID]; ok {
+			allLive[c.ID] = st
+			full.Chains = append(full.Chains, c)
+		}
+	}
+	r, err := BuildResidual(full, allLive, layout, BuildOptions{Consolidate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Prob.NumVars() != 0 {
+		t.Errorf("empty waiting set produced %d variables", r.Prob.NumVars())
+	}
+	if w, p, d := r.Loads(); w != 0 || p != 0 || d != 0 {
+		t.Errorf("empty waiting set loads = %d/%d/%d", w, p, d)
+	}
+
+	// All departed: empty live map, waiting chains only.
+	r2, err := BuildResidual(in, map[int][]int{}, layout, BuildOptions{Consolidate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ObjOffset() != 0 {
+		t.Errorf("all-departed objOffset = %v", r2.ObjOffset())
+	}
+	placed, _ := solveResidual(t, r2)
+	a := assembleResidual(in, layout, map[int][]int{}, placed)
+	if err := Verify(in, a, true); err != nil {
+		t.Errorf("all-departed assignment: %v", err)
+	}
+
+	// A layout hole (type with no instance) violates Eq. 4 at build time.
+	bad := make([][]bool, len(layout))
+	for i := range layout {
+		bad[i] = append([]bool(nil), layout[i]...)
+	}
+	for s := range bad[0] {
+		bad[0][s] = false
+	}
+	if _, err := BuildResidual(in, live, bad, BuildOptions{Consolidate: true}); err == nil {
+		t.Error("layout missing type 1 accepted")
+	}
+}

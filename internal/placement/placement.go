@@ -40,6 +40,13 @@ type Result struct {
 	Incumbents []ilp.Incumbent
 	// Nodes is the number of branch-and-bound nodes (IP only).
 	Nodes int
+	// RootBasis is the root LP's optimal simplex basis (IP only). Feeding
+	// it back through IPOptions.WarmBasis lets a later solve over a
+	// same-shaped model re-enter the dual simplex instead of solving cold.
+	RootBasis *lp.Basis
+	// RootWarmed reports whether this solve's root LP itself re-entered
+	// from a supplied basis.
+	RootWarmed bool
 }
 
 // IPOptions tunes SolveIP.
@@ -63,6 +70,11 @@ type IPOptions struct {
 	// .Workers): 0 or 1 solves serially with the bit-for-bit reproducible
 	// node order, n > 1 searches the tree with n concurrent workers.
 	Workers int
+	// WarmBasis, when non-nil, warm-starts the root LP from a prior solve's
+	// RootBasis (cross-replan warm start). A basis whose shape does not
+	// match the built model is ignored and the root solves cold — the
+	// fallback is deterministic, never wrong.
+	WarmBasis *lp.Basis
 }
 
 // exactConsistencyLimit bounds the instance size (Σ_l J_l · K) for which
@@ -134,6 +146,7 @@ func SolveIP(in *model.Instance, opts IPOptions) (*Result, error) {
 		WarmStart:    warm,
 		Heuristic:    heuristic,
 		Workers:      opts.Workers,
+		WarmBasis:    opts.WarmBasis,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +157,8 @@ func SolveIP(in *model.Instance, opts IPOptions) (*Result, error) {
 		Bound:      res.Bound,
 		Incumbents: res.Incumbents,
 		Nodes:      res.Nodes,
+		RootBasis:  res.RootBasis,
+		RootWarmed: res.RootWarmed,
 	}
 	switch res.Status {
 	case ilp.Optimal, ilp.Feasible:

@@ -2,9 +2,11 @@ package placement
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"sfp/internal/ilp"
+	"sfp/internal/lp"
 	"sfp/internal/model"
 )
 
@@ -15,6 +17,14 @@ import (
 // fixed, and MaybeReconfigure compares the incremental result against a
 // full re-optimization to decide whether a (disruptive) reconfiguration is
 // worthwhile.
+//
+// Replan runs on an incremental fast path by default: a pinned-tenant-
+// eliminated residual program (model.Residual) is retained across replans
+// and patched per arrival/departure, and successive solves re-enter from
+// the previous root basis (lp dual simplex). Its cost scales with the
+// waiting set, not the live-tenant count. ReplanOptions.FullRebuild forces
+// the original full-model reference path, which the equivalence tests use
+// as the oracle.
 type Updater struct {
 	sw       model.SwitchConfig
 	numTypes int
@@ -28,6 +38,48 @@ type Updater struct {
 	waiting map[int]bool
 	// layout is the current physical-NF placement.
 	layout [][]bool
+	// ids is every known chain ID in ascending order, maintained
+	// incrementally on Arrive/Depart/Withdraw (snapshot at 10k tenants must
+	// not sort from scratch per replan).
+	ids []int
+
+	// fast is the retained incremental-replan state; nil until the first
+	// fast Replan, and invalidated whenever the live set or layout changes
+	// through a path that does not patch it (greedy replans, adopted
+	// reconfigurations, full replans).
+	fast *fastState
+	// fullBasis is the root LP basis of the last full-model solve
+	// (FullRebuild replans and MaybeReconfigure share the model shape while
+	// the chain set is unchanged; shape mismatches fall back cold).
+	fullBasis *lp.Basis
+	stats     ReplanStats
+}
+
+// fastState is the retained residual program plus its warm-start basis.
+type fastState struct {
+	resid *model.Residual
+	basis *lp.Basis
+}
+
+// ReplanStats reports how the most recent Replan executed — the
+// observability hook for core and the experiments.
+type ReplanStats struct {
+	// FullRebuild is true when the reference full-model path ran.
+	FullRebuild bool
+	// Rebuilt is true when the residual program was (re)built this call
+	// rather than patched.
+	Rebuilt bool
+	// WarmStarted is true when the root LP re-entered from a prior basis.
+	WarmStarted bool
+	// InModel counts chain blocks carried in the solved program.
+	InModel int
+	// Admitted counts chains this replan placed.
+	Admitted int
+	// Nodes is the branch-and-bound node count (0 when the solve was
+	// skipped because nothing was waiting).
+	Nodes int
+	// Elapsed is the replan's wall-clock time.
+	Elapsed time.Duration
 }
 
 // NewUpdater starts runtime management from an initial placement produced
@@ -51,13 +103,29 @@ func NewUpdater(in *model.Instance, a *model.Assignment, build model.BuildOption
 	}
 	for l, c := range in.Chains {
 		u.chains[c.ID] = c
+		u.ids = append(u.ids, c.ID)
 		if a.Deployed(l) {
 			u.live[c.ID] = append([]int(nil), a.Stages[l]...)
 		} else {
 			u.waiting[c.ID] = true
 		}
 	}
+	sort.Ints(u.ids)
 	return u, nil
+}
+
+func (u *Updater) addID(id int) {
+	i := sort.SearchInts(u.ids, id)
+	u.ids = append(u.ids, 0)
+	copy(u.ids[i+1:], u.ids[i:])
+	u.ids[i] = id
+}
+
+func (u *Updater) dropID(id int) {
+	i := sort.SearchInts(u.ids, id)
+	if i < len(u.ids) && u.ids[i] == id {
+		u.ids = append(u.ids[:i], u.ids[i+1:]...)
+	}
 }
 
 // Live returns the IDs of currently placed chains.
@@ -72,14 +140,35 @@ func (u *Updater) Live() []int {
 // Waiting returns the number of unplaced candidates.
 func (u *Updater) Waiting() int { return len(u.waiting) }
 
+// LastReplan reports how the most recent Replan/MaybeReconfigure executed.
+func (u *Updater) LastReplan() ReplanStats { return u.stats }
+
 // Depart removes a tenant: its rules disappear from the data plane and its
 // resources become available to future Replan calls.
 func (u *Updater) Depart(id int) error {
-	if _, ok := u.live[id]; !ok {
+	st, ok := u.live[id]
+	if !ok {
 		return fmt.Errorf("placement: chain %d is not live", id)
 	}
+	c := u.chains[id]
 	delete(u.live, id)
 	delete(u.chains, id)
+	u.dropID(id)
+	if u.fast != nil {
+		// Patch the retained program: an in-model (admitted-this-program)
+		// chain's block is zeroed; a folded survivor's consumption returns
+		// to the RHS. The basis keeps its shape, so the next solve still
+		// warm-starts.
+		var err error
+		if u.fast.resid.Has(id) {
+			err = u.fast.resid.Kill(id)
+		} else {
+			err = u.fast.resid.ReleaseFolded(c, st)
+		}
+		if err != nil {
+			u.fast = nil // desync: rebuild lazily on the next replan
+		}
+	}
 	return nil
 }
 
@@ -90,6 +179,18 @@ func (u *Updater) Arrive(c *model.Chain) error {
 	}
 	u.chains[c.ID] = c
 	u.waiting[c.ID] = true
+	u.addID(c.ID)
+	if u.fast != nil {
+		dv, dr, err := u.fast.resid.Append(c)
+		if err != nil {
+			u.fast = nil
+		} else if u.fast.basis != nil {
+			// Grow the retained basis alongside the program: the appended
+			// block enters at its trivial corner and the next dual-simplex
+			// re-entry starts from the previous optimum.
+			u.fast.basis = u.fast.basis.Extend(dv, dr)
+		}
+	}
 	return nil
 }
 
@@ -97,9 +198,26 @@ func (u *Updater) Arrive(c *model.Chain) error {
 // arrived. It is the rollback path for an arrival whose data-plane
 // install failed after the replan already admitted it.
 func (u *Updater) Withdraw(id int) {
+	c, known := u.chains[id]
+	st, wasLive := u.live[id]
 	delete(u.live, id)
 	delete(u.waiting, id)
 	delete(u.chains, id)
+	if !known {
+		return
+	}
+	u.dropID(id)
+	if u.fast != nil {
+		var err error
+		if u.fast.resid.Has(id) {
+			err = u.fast.resid.Kill(id)
+		} else if wasLive {
+			err = u.fast.resid.ReleaseFolded(c, st)
+		}
+		if err != nil {
+			u.fast = nil
+		}
+	}
 }
 
 // Adjust replaces a live tenant's chain definition; per §V-E this is
@@ -113,22 +231,11 @@ func (u *Updater) Adjust(id int, replacement *model.Chain) error {
 }
 
 // snapshot builds the current instance (live + waiting chains, stable
-// order) and the assignment of the live ones.
+// ascending-ID order) and the assignment of the live ones.
 func (u *Updater) snapshot() (*model.Instance, *model.Assignment, []int) {
 	in := &model.Instance{Switch: u.sw, NumTypes: u.numTypes, Recirc: u.recirc}
-	var ids []int
-	for id := range u.chains {
-		ids = append(ids, id)
-	}
-	// Deterministic order: ascending IDs.
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
-	for _, id := range ids {
+	in.Chains = make([]*model.Chain, 0, len(u.ids))
+	for _, id := range u.ids {
 		in.Chains = append(in.Chains, u.chains[id])
 	}
 	a := model.NewAssignment(in)
@@ -140,7 +247,7 @@ func (u *Updater) snapshot() (*model.Instance, *model.Assignment, []int) {
 			copy(a.Stages[l], st)
 		}
 	}
-	return in, a, ids
+	return in, a, u.ids
 }
 
 // Current returns the live instance, assignment and metrics.
@@ -155,6 +262,15 @@ type ReplanOptions struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds the search (0 = solver default).
 	MaxNodes int
+	// FullRebuild forces the reference path: model.Build over every tenant
+	// plus PinPhysical/PinChain, re-encoded from scratch. Equivalent to the
+	// default incremental path (the equivalence suite proves it) but costs
+	// Ω(total tenants) per replan.
+	FullRebuild bool
+	// WarmBasis, when set, overrides the internally retained basis for this
+	// solve's root LP (lp.Options.WarmBasis semantics: a shape-mismatched
+	// basis is ignored and the root solves cold, deterministically).
+	WarmBasis *lp.Basis
 }
 
 // Replan places waiting candidates into the released resources: survivors
@@ -162,6 +278,117 @@ type ReplanOptions struct {
 // optimizes only over the incremental chains. Newly placed chains become
 // live. It returns the post-update metrics.
 func (u *Updater) Replan(opts ReplanOptions) (model.Metrics, error) {
+	start := time.Now()
+	if opts.FullRebuild {
+		return u.replanFull(opts, start)
+	}
+	m, err := u.replanFast(opts, start)
+	if err != nil {
+		// The fast path never guesses: any residual build, decode, or
+		// verification trouble discards the retained state and falls back
+		// to the reference path.
+		u.fast = nil
+		return u.replanFull(opts, start)
+	}
+	return m, nil
+}
+
+// compactionSlack bounds how much dead/pinned ballast the retained residual
+// program may accumulate before it is rebuilt from the current state.
+const compactionSlack = 32
+
+// replanFast is the incremental path: retain the residual program, patch it
+// (done eagerly in Arrive/Depart/Withdraw), solve warm, verify, admit.
+func (u *Updater) replanFast(opts ReplanOptions, start time.Time) (model.Metrics, error) {
+	stats := ReplanStats{}
+	if u.fast != nil {
+		// Compaction: pinned and dead blocks keep their (fixed) variables
+		// in the program. Presolve folds them per node LP, but the folding
+		// itself costs time proportional to the program size — rebuild once
+		// the ballast outweighs the waiting set.
+		w, pn, d := u.fast.resid.Loads()
+		if pn+d > compactionSlack && pn+d > 2*w {
+			u.fast = nil
+		}
+	}
+	if u.fast == nil {
+		in, _, _ := u.snapshot()
+		resid, err := model.BuildResidual(in, u.live, u.layout, u.build)
+		if err != nil {
+			return model.Metrics{}, err
+		}
+		u.fast = &fastState{resid: resid}
+		stats.Rebuilt = true
+	}
+	f := u.fast
+	w, pn, d := f.resid.Loads()
+	stats.InModel = w + pn + d
+	if w == 0 {
+		// Empty waiting set: nothing to place, the current state is the
+		// residual optimum. Skip the solve entirely.
+		in, cur, _ := u.snapshot()
+		stats.Elapsed = time.Since(start)
+		u.stats = stats
+		return model.ComputeMetrics(in, cur, u.build.Consolidate), nil
+	}
+	wb := opts.WarmBasis
+	if wb == nil {
+		wb = f.basis
+	}
+	res, err := ilp.Solve(&ilp.Problem{LP: f.resid.Prob, IntVars: f.resid.IntVars()}, ilp.Options{
+		TimeLimit: opts.TimeLimit,
+		MaxNodes:  opts.MaxNodes,
+		CeilVars:  f.resid.AuxVars(),
+		WarmBasis: wb,
+	})
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	f.basis = res.RootBasis
+	stats.WarmStarted = res.RootWarmed
+	stats.Nodes = res.Nodes
+
+	in, a, ids := u.snapshot()
+	if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
+		// Nothing placeable: keep the current state.
+		stats.Elapsed = time.Since(start)
+		u.stats = stats
+		return model.ComputeMetrics(in, a, u.build.Consolidate), nil
+	}
+	placed := f.resid.DecodeStages(res.X)
+	for l, id := range ids {
+		if !u.waiting[id] {
+			continue
+		}
+		if st, ok := placed[id]; ok {
+			copy(a.Stages[l], st)
+		}
+	}
+	if err := model.Verify(in, a, u.build.Consolidate); err != nil {
+		return model.Metrics{}, fmt.Errorf("placement: fast replan verification: %w", err)
+	}
+	for l, id := range ids {
+		if u.waiting[id] && a.Deployed(l) {
+			st := append([]int(nil), a.Stages[l]...)
+			u.live[id] = st
+			delete(u.waiting, id)
+			if err := f.resid.PinTo(id, st); err != nil {
+				u.fast = nil // desync: rebuild lazily next replan
+			}
+			stats.Admitted++
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	u.stats = stats
+	return model.ComputeMetrics(in, a, u.build.Consolidate), nil
+}
+
+// replanFull is the reference path: re-encode the entire instance and pin
+// every survivor, exactly the pre-fast-path behavior. Retained as the
+// equivalence oracle and as the fallback when the incremental state cannot
+// be trusted.
+func (u *Updater) replanFull(opts ReplanOptions, start time.Time) (model.Metrics, error) {
+	stats := ReplanStats{FullRebuild: true, Rebuilt: true}
 	in, cur, ids := u.snapshot()
 	build := u.build
 	// Same adaptive consistency policy as SolveIP: tight rows while the
@@ -183,27 +410,42 @@ func (u *Updater) Replan(opts ReplanOptions) (model.Metrics, error) {
 			}
 		}
 	}
+	stats.InModel = len(in.Chains)
+	wb := opts.WarmBasis
+	if wb == nil {
+		wb = u.fullBasis
+	}
 	res, err := ilp.Solve(&ilp.Problem{LP: enc.Prob, IntVars: enc.IntVars}, ilp.Options{
 		TimeLimit:    opts.TimeLimit,
 		MaxNodes:     opts.MaxNodes,
 		PriorityVars: enc.XVars(),
 		CeilVars:     enc.AuxVars(),
+		WarmBasis:    wb,
 	})
 	if err != nil {
 		return model.Metrics{}, err
 	}
+	u.fullBasis = res.RootBasis
+	stats.WarmStarted = res.RootWarmed
+	stats.Nodes = res.Nodes
+	finish := func(m model.Metrics) (model.Metrics, error) {
+		stats.Elapsed = time.Since(start)
+		u.stats = stats
+		return m, nil
+	}
 	if res.Status != ilp.Optimal && res.Status != ilp.Feasible {
 		// Nothing placeable: keep the current state.
-		return model.ComputeMetrics(in, cur, u.build.Consolidate), nil
+		return finish(model.ComputeMetrics(in, cur, u.build.Consolidate))
 	}
 	a := enc.Decode(res.X)
 	if err := model.Verify(in, a, u.build.Consolidate); err != nil {
 		return model.Metrics{}, fmt.Errorf("placement: replan verification: %w", err)
 	}
 	for l, id := range ids {
-		if a.Deployed(l) {
+		if a.Deployed(l) && u.waiting[id] {
 			u.live[id] = append([]int(nil), a.Stages[l]...)
 			delete(u.waiting, id)
+			stats.Admitted++
 		}
 	}
 	// Newly used physical NFs extend the layout.
@@ -212,7 +454,12 @@ func (u *Updater) Replan(opts ReplanOptions) (model.Metrics, error) {
 			u.layout[i][s] = u.layout[i][s] || a.X[i][s]
 		}
 	}
-	return model.ComputeMetrics(in, a, u.build.Consolidate), nil
+	// The full path changed the live set outside the retained program;
+	// rebuild it lazily rather than tracking a second delta protocol.
+	if stats.Admitted > 0 {
+		u.fast = nil
+	}
+	return finish(model.ComputeMetrics(in, a, u.build.Consolidate))
 }
 
 // ReplanGreedy places waiting candidates with the Algorithm-2 heuristic
@@ -228,16 +475,23 @@ func (u *Updater) ReplanGreedy() (model.Metrics, error) {
 	if err := model.Verify(in, res.Assignment, u.build.Consolidate); err != nil {
 		return model.Metrics{}, fmt.Errorf("placement: greedy replan verification: %w", err)
 	}
+	admitted := 0
 	for l, id := range ids {
-		if res.Assignment.Deployed(l) {
+		if res.Assignment.Deployed(l) && u.waiting[id] {
 			u.live[id] = append([]int(nil), res.Assignment.Stages[l]...)
 			delete(u.waiting, id)
+			admitted++
 		}
 	}
 	for i := range res.Assignment.X {
 		for s := range res.Assignment.X[i] {
 			u.layout[i][s] = u.layout[i][s] || res.Assignment.X[i][s]
 		}
+	}
+	// Greedy admissions may extend the layout and move chains live outside
+	// the retained residual program; invalidate it.
+	if admitted > 0 {
+		u.fast = nil
 	}
 	return res.Metrics, nil
 }
@@ -247,13 +501,24 @@ func (u *Updater) ReplanGreedy() (model.Metrics, error) {
 // solution is adopted (modeling the §V-E full reconfiguration, which in a
 // real deployment rewrites extensive rules or reboots the switch). It
 // returns whether reconfiguration happened and the resulting metrics.
+//
+// Successive MaybeReconfigure calls over an unchanged chain set share the
+// full model's shape, so the solve warm-starts from the previous root basis
+// (or from opts.WarmBasis); a changed chain set changes the shape and the
+// root deterministically solves cold.
 func (u *Updater) MaybeReconfigure(threshold float64, opts ReplanOptions) (bool, model.Metrics, error) {
 	in, cur, ids := u.snapshot()
 	curM := model.ComputeMetrics(in, cur, u.build.Consolidate)
-	full, err := SolveIP(in, IPOptions{Build: u.build, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes})
+	wb := opts.WarmBasis
+	if wb == nil {
+		wb = u.fullBasis
+	}
+	full, err := SolveIP(in, IPOptions{Build: u.build, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmBasis: wb})
 	if err != nil {
 		return false, curM, err
 	}
+	u.fullBasis = full.RootBasis
+	u.stats.WarmStarted = full.RootWarmed
 	if full.Assignment == nil || curM.Objective >= threshold*full.Objective {
 		return false, curM, nil
 	}
@@ -270,5 +535,8 @@ func (u *Updater) MaybeReconfigure(threshold float64, opts ReplanOptions) (bool,
 	for i := range full.Assignment.X {
 		copy(u.layout[i], full.Assignment.X[i])
 	}
+	// The adopted placement replaced the live set and layout wholesale; the
+	// retained incremental program no longer describes them.
+	u.fast = nil
 	return true, full.Metrics, nil
 }

@@ -20,6 +20,11 @@
 #                            drops below a 1.5x speedup over the recorded
 #                            dense/serial baseline (i.e. a >1.5x regression
 #                            against this PR's solver fast path).
+#                            Runs the incremental-replan benchmarks, writes
+#                            BENCH_replan.json, and fails if a replan at 10k
+#                            live tenants exceeds 10x the 1k cost or the
+#                            delta path loses its >= 1.5x edge over the
+#                            full-rebuild reference at 4k.
 #                            Finally runs the data-plane compiled-pipeline +
 #                            multicore replay benchmarks, writes
 #                            BENCH_dataplane.json (pps-vs-workers curve),
@@ -229,6 +234,71 @@ if [[ "${1:-}" == "bench" ]]; then
         exit 1
     fi
     echo "== recovery bench checks passed (1k-tenant recover < 1s)"
+
+    echo "== go test -bench (incremental replan: delta vs full rebuild)"
+    dout=$(go test -run '^$' -bench 'BenchmarkReplanDelta1k$|BenchmarkReplanDelta4k$|BenchmarkReplanDelta10k$' \
+        -benchtime 3x -count 3 ./internal/placement/)
+    echo "$dout"
+    # The full-rebuild reference re-encodes every tenant per replan, so it is
+    # orders of magnitude slower — one pass each is plenty for the gate.
+    fout=$(go test -run '^$' -bench 'BenchmarkReplanFull1k$' -benchtime 2x -count 2 ./internal/placement/)
+    echo "$fout"
+    f4out=$(go test -run '^$' -bench 'BenchmarkReplanFull4k$' -benchtime 1x -count 1 -timeout 60m ./internal/placement/)
+    echo "$f4out"
+
+    # Minimum ns/op per workload (noise-robust on a shared machine).
+    read -r d1 d4 d10 f1 f4 < <(printf '%s\n%s\n%s\n' "$dout" "$fout" "$f4out" | awk '
+        $1 ~ /^BenchmarkReplanDelta1k(-[0-9]+)?$/  { if (!a || $3 < a) a = $3 }
+        $1 ~ /^BenchmarkReplanDelta4k(-[0-9]+)?$/  { if (!b || $3 < b) b = $3 }
+        $1 ~ /^BenchmarkReplanDelta10k(-[0-9]+)?$/ { if (!c || $3 < c) c = $3 }
+        $1 ~ /^BenchmarkReplanFull1k(-[0-9]+)?$/   { if (!d || $3 < d) d = $3 }
+        $1 ~ /^BenchmarkReplanFull4k(-[0-9]+)?$/   { if (!e || $3 < e) e = $3 }
+        END { print a, b, c, d, e }')
+    if [[ -z "$d1" || -z "$d10" || -z "$f1" || -z "$f4" ]]; then
+        echo "FAIL: replan benchmarks produced no measurements" >&2
+        exit 1
+    fi
+
+    awk -v d1="$d1" -v d4="$d4" -v d10="$d10" -v f1="$f1" -v f4="$f4" '
+        BEGIN {
+            printf "{\n"
+            printf "  \"date\": \"'"$(date -u +%Y-%m-%dT%H:%M:%SZ)"'\",\n"
+            printf "  \"cpus\": '"$(nproc)"',\n"
+            printf "  \"note\": \"one arrive -> replan -> depart cycle per iteration at N live tenants. delta = pinned-tenant-eliminated residual program retained and patched across replans, warm-started root LP; full = Build over every tenant + PinChain per replan (pre-optimization behavior). Minimum across runs.\",\n"
+            # %.0f, not %d: the full-rebuild ns/op values exceed 2^31 and
+            # %d clamps them to INT32_MAX on this awk.
+            printf "  \"delta\": {\n"
+            printf "    \"BenchmarkReplanDelta1k\":  {\"ns_op\": %.0f},\n", d1
+            printf "    \"BenchmarkReplanDelta4k\":  {\"ns_op\": %.0f},\n", d4
+            printf "    \"BenchmarkReplanDelta10k\": {\"ns_op\": %.0f, \"ratio_10k_1k\": %.2f}\n", d10, d10/d1
+            printf "  },\n"
+            printf "  \"full\": {\n"
+            printf "    \"BenchmarkReplanFull1k\": {\"ns_op\": %.0f, \"delta_speedup\": %.1f},\n", f1, f1/d1
+            printf "    \"BenchmarkReplanFull4k\": {\"ns_op\": %.0f, \"delta_speedup\": %.1f}\n", f4, f4/d4
+            printf "  }\n}\n"
+        }' > BENCH_replan.json
+    echo "== wrote BENCH_replan.json"
+
+    rfail=0
+    # Gate (a): incremental replan cost must scale with the waiting set, not
+    # the live-tenant count — 10k live tenants within 10x of 1k.
+    if awk -v a="$d1" -v b="$d10" 'BEGIN { exit !(b > 10 * a) }'; then
+        echo "FAIL: ReplanDelta10k ($d10 ns/op) > 10x ReplanDelta1k ($d1 ns/op)" >&2
+        rfail=1
+    fi
+    # Gate (b): the delta path must beat the full rebuild by >= 1.5x at 4k
+    # live tenants (in practice the margin is orders of magnitude).
+    if awk -v f="$f4" -v d="$d4" 'BEGIN { exit !(f / d < 1.5) }'; then
+        echo "FAIL: delta replan at 4k only $(awk -v f="$f4" -v d="$d4" 'BEGIN { printf "%.2f", f/d }')x the full rebuild (gate: >= 1.5x)" >&2
+        rfail=1
+    fi
+    # Gate (c): delta must never lose to full, even at the smallest scale.
+    if awk -v f="$f1" -v d="$d1" 'BEGIN { exit !(f < d) }'; then
+        echo "FAIL: delta replan at 1k ($d1 ns/op) slower than full rebuild ($f1 ns/op)" >&2
+        rfail=1
+    fi
+    [[ "$rfail" == 0 ]] || exit 1
+    echo "== replan bench checks passed (10k within 10x of 1k, delta >= 1.5x full at 4k)"
 
     echo "== go test -bench (data plane: compiled pipeline + multicore replay)"
     cout=$(go test -run '^$' \
