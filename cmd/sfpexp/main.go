@@ -78,6 +78,10 @@ func main() {
 		// Not part of "all": replan latency vs live-tenant count (also gated
 		// in scripts/check.sh bench as BENCH_replan.json).
 		{"replanscale", func() (*experiments.Table, error) { return experiments.ReplanScale(sc) }},
+		// Not part of "all": decomposition vs time-capped exact IP at
+		// provisioning scale (also gated in scripts/check.sh bench as
+		// BENCH_fullsolve.json).
+		{"fullsolve", func() (*experiments.Table, error) { return experiments.FullSolve(sc) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -97,7 +101,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling, replanscale)\n", *figs)
+		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling, replanscale, fullsolve)\n", *figs)
 		os.Exit(2)
 	}
 }

@@ -66,6 +66,18 @@ type Options struct {
 	// incremental replan). Zero means 10s — unbounded exact solves are a
 	// foot-gun on anything beyond toy sizes.
 	SolverTimeLimit time.Duration
+	// SolverWorkers sets the control-plane solver worker count:
+	// branch-and-bound workers for exact IP solves and replans, pricing
+	// workers for decomposed full solves. 0 or 1 is the serial
+	// deterministic reference; results are identical at any count.
+	SolverWorkers int
+	// DecomposeAbove routes full solves (Provision with AlgoIP and
+	// ReconfigureIfStale's re-optimization) to the Lagrangian decomposition
+	// solver once the tenant count reaches it: exact IP with a proven
+	// optimum below, feasible placement with a certified optimality gap
+	// (surfaced via LastReplan().Gap) above. Zero means
+	// placement.DefaultDecomposeAbove; negative always solves exactly.
+	DecomposeAbove int
 	// Seed drives the randomized rounding.
 	Seed int64
 	// NoFallback disables the AlgoIP→AlgoApprox→AlgoGreedy degradation
@@ -192,13 +204,33 @@ func (c *Controller) buildInstance(sfcs []*vswitch.SFC) *model.Instance {
 	return in
 }
 
+// decomposeAbove resolves the tenant-count threshold above which full
+// solves run the Lagrangian decomposition (0 = the placement default,
+// negative = never).
+func (c *Controller) decomposeAbove() int {
+	if c.opts.DecomposeAbove == 0 {
+		return placement.DefaultDecomposeAbove
+	}
+	return c.opts.DecomposeAbove
+}
+
 // solveWith runs one specific algorithm.
 func (c *Controller) solveWith(algo Algorithm, in *model.Instance) (*placement.Result, error) {
 	build := model.BuildOptions{Consolidate: c.opts.Consolidate}
 	switch algo {
 	case AlgoIP:
+		if n := c.decomposeAbove(); n > 0 && len(in.Chains) >= n {
+			// At scale the exact IP's root LP alone outlasts any sane time
+			// limit; the decomposition returns a feasible placement with a
+			// certified gap in milliseconds (exact IP remains the reference
+			// below the threshold and via DecomposeAbove < 0).
+			return placement.SolveDecomposed(in, placement.DecomposeOptions{
+				Build: build, TimeLimit: c.opts.SolverTimeLimit, Workers: c.opts.SolverWorkers,
+			})
+		}
 		return placement.SolveIP(in, placement.IPOptions{
 			Build: build, TimeLimit: c.opts.SolverTimeLimit, NoWarmStart: c.opts.IPNoWarmStart,
+			Workers: c.opts.SolverWorkers,
 		})
 	case AlgoApprox:
 		return placement.SolveApprox(in, placement.ApproxOptions{Build: build, Seed: c.opts.Seed})
@@ -700,7 +732,10 @@ func (c *Controller) replan() error {
 		_, err := c.updater.ReplanGreedy()
 		return err
 	}
-	_, err := c.updater.Replan(placement.ReplanOptions{TimeLimit: c.opts.SolverTimeLimit})
+	_, err := c.updater.Replan(placement.ReplanOptions{
+		TimeLimit:     c.opts.SolverTimeLimit,
+		SolverWorkers: c.opts.SolverWorkers,
+	})
 	return err
 }
 
@@ -734,7 +769,16 @@ func (c *Controller) ReconfigureIfStale(threshold float64) (bool, error) {
 	if c.updater == nil {
 		return false, fmt.Errorf("core: not provisioned")
 	}
-	did, _, err := c.updater.MaybeReconfigure(threshold, placement.ReplanOptions{TimeLimit: c.opts.SolverTimeLimit})
+	// Full plumbing, like the replan path: worker count and decomposition
+	// threshold ride along, and the updater re-enters its retained full-model
+	// basis on the exact path (ReplanOptions.WarmBasis stays nil so the
+	// internally retained basis applies). The solve's certified gap is
+	// surfaced through LastReplan().Gap.
+	did, _, err := c.updater.MaybeReconfigure(threshold, placement.ReplanOptions{
+		TimeLimit:      c.opts.SolverTimeLimit,
+		SolverWorkers:  c.opts.SolverWorkers,
+		DecomposeAbove: c.opts.DecomposeAbove,
+	})
 	if err != nil || !did {
 		return false, err
 	}

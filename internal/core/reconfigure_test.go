@@ -1,0 +1,180 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"sfp/internal/model"
+)
+
+// assertModelSwitchAgreement cross-checks the planner state against the
+// data plane after a churny sequence: the placement verifies against the
+// full constraint set, the placed set matches the deployed chains, and
+// the switch's bandwidth accounting matches the model's backplane.
+func assertModelSwitchAgreement(t *testing.T, c *Controller) {
+	t.Helper()
+	in, a, m, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Verify(in, a, c.opts.Consolidate); err != nil {
+		t.Fatalf("planner state fails verification: %v", err)
+	}
+	if got := len(c.PlacedTenants()); got != m.Deployed {
+		t.Errorf("placed tenants %d, model deployed %d", got, m.Deployed)
+	}
+	if got := c.VSwitch().BandwidthUsed(); got < m.BackplaneGbps-1e-6 || got > m.BackplaneGbps+1e-6 {
+		t.Errorf("switch bandwidth %v, model backplane %v", got, m.BackplaneGbps)
+	}
+}
+
+// TestReconfigureAfterArriveManyBatch: a full reconfiguration issued right
+// after a batched arrival must fold the whole batch into the global model
+// and leave consistent stats and state behind.
+func TestReconfigureAfterArriveManyBatch(t *testing.T) {
+	c := New(testOptions(AlgoGreedy))
+	if _, err := c.Provision(smallBatch(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ArriveMany(arrivalBatch(2, 3, 100)); err != nil {
+		t.Fatal(err)
+	}
+	known := len(c.sfcs)
+
+	did, err := c.ReconfigureIfStale(10) // generous threshold: always rebuild
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("threshold 10 did not trigger a rebuild")
+	}
+	st := c.LastReplan()
+	if !st.FullRebuild || !st.Rebuilt {
+		t.Fatalf("expected full rebuild stats, got %+v", st)
+	}
+	if st.InModel != known {
+		t.Errorf("InModel = %d, want all %d known tenants", st.InModel, known)
+	}
+	if st.Decomposed {
+		t.Errorf("small instance took the decomposed path (DecomposeAbove default %d)", 512)
+	}
+	if st.Gap < 0 {
+		t.Errorf("negative certified gap: %v", st.Gap)
+	}
+	assertModelSwitchAgreement(t, c)
+}
+
+// TestReconfigureWithWaitingTenants: tenants the incremental path could
+// not admit (backplane exhausted) must still enter the full model on
+// reconfiguration, and whatever it cannot place must stay consistently
+// waiting afterwards.
+func TestReconfigureWithWaitingTenants(t *testing.T) {
+	opts := testOptions(AlgoGreedy)
+	// Squeeze the backplane so part of the arrival wave must wait. The
+	// contended full IP won't close its bound within any reasonable limit;
+	// 2s returns the warm-started incumbent, which is all this test needs.
+	opts.Pipeline.CapacityGbps = 60
+	opts.SolverTimeLimit = 2 * time.Second
+	c := New(opts)
+	if _, err := c.Provision(smallBatch(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ArriveMany(arrivalBatch(2, 4, 100)); err != nil {
+		t.Fatal(err)
+	}
+	waitingBefore := c.WaitingCount()
+	if waitingBefore == 0 {
+		t.Fatalf("workload not contended: nothing waiting (capacity %v too generous)",
+			opts.Pipeline.CapacityGbps)
+	}
+
+	did, err := c.ReconfigureIfStale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("threshold 10 did not trigger a rebuild")
+	}
+	st := c.LastReplan()
+	if st.InModel != len(c.sfcs) {
+		t.Errorf("InModel = %d, want all %d known tenants (waiting included)", st.InModel, len(c.sfcs))
+	}
+	// Placed + waiting must still partition the registry.
+	if got := len(c.PlacedTenants()) + c.WaitingCount(); got != len(c.sfcs) {
+		t.Errorf("placed %d + waiting %d != known %d",
+			len(c.PlacedTenants()), c.WaitingCount(), len(c.sfcs))
+	}
+	assertModelSwitchAgreement(t, c)
+}
+
+// TestReconfigureAfterRecover: a recovered-and-reconciled controller must
+// support a full reconfiguration like a never-crashed one — the rebuilt
+// planner carries enough state (registry, layout, live set) for the
+// global re-optimization, and the journal records the rebuild so a second
+// recovery sees the post-reconfigure world.
+func TestReconfigureAfterRecover(t *testing.T) {
+	opts, dir := durableOptions(t, nil)
+	c, err := Recover(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Provision(smallBatch(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ArriveMany(arrivalBatch(2, 2, 100)); err != nil {
+		t.Fatal(err)
+	}
+	victim := c.PlacedTenants()[0]
+	if err := c.Depart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Recover(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	did, err := r.ReconfigureIfStale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("threshold 10 did not trigger a rebuild on the recovered controller")
+	}
+	st := r.LastReplan()
+	if !st.FullRebuild || st.InModel != len(r.sfcs) {
+		t.Fatalf("recovered rebuild stats inconsistent: %+v (known %d)", st, len(r.sfcs))
+	}
+	if r.Known(victim) {
+		t.Errorf("departed tenant %d resurfaced through recover+reconfigure", victim)
+	}
+	assertModelSwitchAgreement(t, r)
+
+	// The reconfiguration itself must be durable.
+	fp := controllerFingerprint(r)
+	state := r.VSwitch().ExportState()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recover(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if _, err := r2.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if got := controllerFingerprint(r2); !reflect.DeepEqual(got, fp) {
+		t.Fatalf("post-reconfigure recovery differs:\n got %+v\nwant %+v", got, fp)
+	}
+	if !reflect.DeepEqual(r2.VSwitch().ExportState(), state) {
+		t.Error("post-reconfigure switch state not reproduced by recovery")
+	}
+}

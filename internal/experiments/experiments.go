@@ -105,58 +105,69 @@ type Scale struct {
 	// experiment (incremental vs full-rebuild replan latency). Zero means
 	// ReplanScale's defaults.
 	ReplanScaleLives []int
+	// FullSolveLs sweeps candidate counts for the full-solve scale-out
+	// experiment (Lagrangian decomposition vs time-capped exact IP). Zero
+	// means FullSolve's defaults.
+	FullSolveLs []int
+	// FullSolveExactCapSec caps each exact-IP reference solve in the
+	// full-solve experiment (0 = FullSolve's default).
+	FullSolveExactCapSec float64
 }
 
 // QuickScale returns a configuration that regenerates every figure's shape
 // in a couple of minutes total.
 func QuickScale() Scale {
 	return Scale{
-		Seeds:             2,
-		Fig6Ls:            []int{10, 20, 30},
-		Fig7Recircs:       []int{0, 1, 2, 3},
-		Fig7L:             15,
-		Fig7ChainLen:      8,
-		Fig8IPLs:          []int{2, 4, 6},
-		Fig8ApproxLs:      []int{10, 20, 30},
-		Fig8IPTimeCapSec:  20,
-		Fig9L:             8,
-		Fig9LimitsSec:     []float64{0.05, 0.5, 2, 5, 10},
-		Fig10Ls:           []int{10, 20, 30},
-		Fig10IPTimeCapSec: 15,
-		Fig10Switch:       model.SwitchConfig{Stages: 8, BlocksPerStage: 6, EntriesPerBlock: 1000, CapacityGbps: 110},
-		Fig11Switch:       model.SwitchConfig{Stages: 8, BlocksPerStage: 20, EntriesPerBlock: 1000, CapacityGbps: 60},
-		Fig11DropRates:    []float64{0.1, 0.25, 0.5, 0.75, 1.0},
-		Fig11Allocated:    10,
-		Fig11Candidates:   25,
-		Recirc:            2,
-		MeanChainLen:      5,
-		ReplanScaleLives:  []int{250, 500, 1000},
+		Seeds:                2,
+		Fig6Ls:               []int{10, 20, 30},
+		Fig7Recircs:          []int{0, 1, 2, 3},
+		Fig7L:                15,
+		Fig7ChainLen:         8,
+		Fig8IPLs:             []int{2, 4, 6},
+		Fig8ApproxLs:         []int{10, 20, 30},
+		Fig8IPTimeCapSec:     20,
+		Fig9L:                8,
+		Fig9LimitsSec:        []float64{0.05, 0.5, 2, 5, 10},
+		Fig10Ls:              []int{10, 20, 30},
+		Fig10IPTimeCapSec:    15,
+		Fig10Switch:          model.SwitchConfig{Stages: 8, BlocksPerStage: 6, EntriesPerBlock: 1000, CapacityGbps: 110},
+		Fig11Switch:          model.SwitchConfig{Stages: 8, BlocksPerStage: 20, EntriesPerBlock: 1000, CapacityGbps: 60},
+		Fig11DropRates:       []float64{0.1, 0.25, 0.5, 0.75, 1.0},
+		Fig11Allocated:       10,
+		Fig11Candidates:      25,
+		Recirc:               2,
+		MeanChainLen:         5,
+		ReplanScaleLives:     []int{250, 500, 1000},
+		FullSolveLs:          []int{60, 120, 250},
+		FullSolveExactCapSec: 5,
 	}
 }
 
 // PaperScale approaches the published parameters (minutes to hours).
 func PaperScale() Scale {
 	return Scale{
-		Seeds:             5,
-		Fig6Ls:            []int{10, 20, 30, 40, 50},
-		Fig7Recircs:       []int{0, 1, 2, 3, 4, 5, 6},
-		Fig7L:             15,
-		Fig7ChainLen:      8,
-		Fig8IPLs:          []int{2, 4, 6, 8, 10},
-		Fig8ApproxLs:      []int{10, 20, 30, 40, 50},
-		Fig8IPTimeCapSec:  120,
-		Fig9L:             12,
-		Fig9LimitsSec:     []float64{0.05, 0.5, 2, 5, 10, 30, 60},
-		Fig10Ls:           []int{5, 10, 15, 20},
-		Fig10IPTimeCapSec: 60,
-		Fig10Switch:       model.SwitchConfig{Stages: 8, BlocksPerStage: 10, EntriesPerBlock: 1000, CapacityGbps: 150},
-		Fig11Switch:       model.SwitchConfig{Stages: 8, BlocksPerStage: 20, EntriesPerBlock: 1000, CapacityGbps: 100},
-		Fig11DropRates:    []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
-		Fig11Allocated:    20,
-		Fig11Candidates:   50,
-		Recirc:            2,
-		MeanChainLen:      5,
-		ReplanScaleLives:  []int{1000, 2000, 4000},
+		Seeds:                5,
+		Fig6Ls:               []int{10, 20, 30, 40, 50},
+		Fig7Recircs:          []int{0, 1, 2, 3, 4, 5, 6},
+		Fig7L:                15,
+		Fig7ChainLen:         8,
+		Fig8IPLs:             []int{2, 4, 6, 8, 10},
+		Fig8ApproxLs:         []int{10, 20, 30, 40, 50},
+		Fig8IPTimeCapSec:     120,
+		Fig9L:                12,
+		Fig9LimitsSec:        []float64{0.05, 0.5, 2, 5, 10, 30, 60},
+		Fig10Ls:              []int{5, 10, 15, 20},
+		Fig10IPTimeCapSec:    60,
+		Fig10Switch:          model.SwitchConfig{Stages: 8, BlocksPerStage: 10, EntriesPerBlock: 1000, CapacityGbps: 150},
+		Fig11Switch:          model.SwitchConfig{Stages: 8, BlocksPerStage: 20, EntriesPerBlock: 1000, CapacityGbps: 100},
+		Fig11DropRates:       []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Fig11Allocated:       20,
+		Fig11Candidates:      50,
+		Recirc:               2,
+		MeanChainLen:         5,
+		ReplanScaleLives:     []int{1000, 2000, 4000},
+		FullSolveLs:          []int{1000, 2000, 4000},
+		FullSolveExactCapSec: 30,
 	}
 }
 

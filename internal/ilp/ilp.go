@@ -114,6 +114,15 @@ type Options struct {
 	// (see WarmNodeLP for why). A basis whose shape does not match the
 	// problem is ignored and the root solves cold, deterministically.
 	WarmBasis *lp.Basis
+	// BoundCap, when positive, is an externally certified upper bound on
+	// the optimum (e.g. a Lagrangian dual bound from a decomposition). The
+	// search reports Bound = min(tree bound, BoundCap) and terminates as
+	// Optimal as soon as the incumbent is within RelGap of it — a solve
+	// whose incumbent already matches a certified bound need not grind the
+	// tree down to prove what is already known. Zero disables the cap; an
+	// invalid (too small) cap yields a correspondingly weaker optimality
+	// claim, so callers must only pass proven bounds.
+	BoundCap float64
 	// WarmNodeLP warm-starts each node LP from its parent's optimal basis
 	// (dual simplex over the full problem). Off by default for two measured
 	// reasons: node presolve shrinks child LPs (whose fixed variables
@@ -229,6 +238,9 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Status: Limit, Objective: math.Inf(-1), Bound: math.Inf(1)}
+	if opts.BoundCap > 0 {
+		res.Bound = opts.BoundCap
+	}
 	var bestX []float64
 
 	accept := func(obj float64, x []float64) {
@@ -264,15 +276,30 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 	// found the stack drains into the best-bound heap.
 	dive := []*node{{bound: math.Inf(1)}}
 	rootInfeasible := false
+	dropped := false
+	// lostBound is the best bound among dropped (unexplorable) nodes: their
+	// subtrees were never searched, so the proven upper bound can never fall
+	// below it — without this, dropping the right nodes would let the
+	// remaining tree "prove" a false optimum.
+	lostBound := math.Inf(-1)
 	explored := 0
+	// decided marks a break that already fixed the final status (limit hit or
+	// certified optimum). The exhausted-tree classification below must only
+	// run on natural loop exit: a deadline break can pop the last queued node
+	// and leave both queues empty with that node's subtree unexplored, which
+	// an unconditional emptiness check would misread as a completed search —
+	// and promote a time-limited incumbent to a false "optimal".
+	decided := false
 
 	for open.Len() > 0 || len(dive) > 0 {
 		if explored >= opts.MaxNodes {
 			res.Status = statusOnLimit(bestX)
+			decided = true
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Status = statusOnLimit(bestX)
+			decided = true
 			break
 		}
 		if bestX != nil && len(dive) > 0 {
@@ -293,9 +320,17 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 				res.Bound = nd.bound
 			}
 		}
-		if bestX != nil && nd.bound <= res.Objective+opts.RelGap*math.Abs(res.Objective)+opts.IntTol {
-			// Everything remaining is no better than the incumbent.
+		// Effective proven bound: the live frontier (folding in
+		// Options.BoundCap via res.Bound), floored by dropped subtrees —
+		// unless the external cap alone certifies the incumbent, which it
+		// does regardless of what the tree lost.
+		eff := math.Max(lostBound, math.Min(nd.bound, res.Bound))
+		if opts.BoundCap > 0 {
+			eff = math.Min(eff, opts.BoundCap)
+		}
+		if bestX != nil && eff <= res.Objective+opts.RelGap*math.Abs(res.Objective)+opts.IntTol {
 			res.Status = Optimal
+			decided = true
 			break
 		}
 		explored++
@@ -312,6 +347,12 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		if nd.depth == 0 && opts.WarmBasis != nil {
 			lpOpts.WarmBasis = opts.WarmBasis
 		}
+		// The node LP inherits the remaining wall-clock budget: a solve the
+		// deadline interrupts comes back IterLimit and is dropped like any
+		// unexplorable node, so one huge LP cannot overshoot the TimeLimit.
+		if lpOpts.Deadline.IsZero() {
+			lpOpts.Deadline = deadline
+		}
 		sol, err := q.Solve(lpOpts)
 		if err != nil {
 			return nil, err
@@ -320,10 +361,14 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 			res.RootBasis = sol.Basis
 			res.RootWarmed = sol.Warm
 		}
-		// The LP solve is not interruptible; enforce the deadline on its
-		// result so a limit shorter than one LP really returns nothing.
+		// Enforce the deadline on the LP result: the in-hand node's subtree
+		// is unexplored, so it joins lostBound like any dropped node before
+		// the limit status is returned.
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			dropped = true
+			lostBound = math.Max(lostBound, nd.bound)
 			res.Status = statusOnLimit(bestX)
+			decided = true
 			break
 		}
 		switch sol.Status {
@@ -335,8 +380,11 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		case lp.Unbounded:
 			return nil, fmt.Errorf("ilp: LP relaxation unbounded")
 		case lp.IterLimit:
-			// Treat as unexplorable; drop the node conservatively (bound
-			// stays from parent, already consumed).
+			// Unexplorable within the pivot or wall-clock budget; drop the
+			// node conservatively. Its parent bound joins lostBound so the
+			// abandoned subtree keeps weakening the proven bound.
+			dropped = true
+			lostBound = math.Max(lostBound, nd.bound)
 			continue
 		}
 		if sol.Objective <= res.Objective+opts.IntTol {
@@ -454,16 +502,31 @@ func Solve(p *Problem, opts Options) (*Result, error) {
 		}
 	}
 
-	if open.Len() == 0 && len(dive) == 0 {
+	if !decided && open.Len() == 0 && len(dive) == 0 {
 		if bestX == nil {
 			res.Status = Infeasible
-			if !rootInfeasible && explored == 0 {
+			if !rootInfeasible && (explored == 0 || dropped) {
 				res.Status = Limit
 			}
+		} else if dropped {
+			// Some subtree was abandoned unexplored (node LP hit its pivot
+			// cap or the wall-clock deadline); it may hold better points, so
+			// the incumbent stays Feasible.
+			res.Status = Feasible
 		} else {
 			res.Status = Optimal
 			res.Bound = res.Objective
 		}
+	}
+	if dropped {
+		// Dropped subtrees rejoin the proven bound on every exit path: the
+		// live frontier alone no longer covers the optimum. The external
+		// BoundCap remains valid regardless.
+		b := math.Max(res.Bound, lostBound)
+		if opts.BoundCap > 0 {
+			b = math.Min(b, opts.BoundCap)
+		}
+		res.Bound = b
 	}
 	// The incumbent itself is always a valid lower bound on the optimum, so
 	// the proven upper bound can never be reported below it.

@@ -36,12 +36,17 @@ func solveParallel(p *Problem, opts Options) (*Result, error) {
 		isCeilVar[v] = true
 	}
 
+	bound0 := math.Inf(1)
+	if opts.BoundCap > 0 {
+		bound0 = opts.BoundCap
+	}
 	st := &parState{
-		res:      &Result{Status: Limit, Objective: math.Inf(-1), Bound: math.Inf(1)},
-		open:     &nodeHeap{},
-		inflight: make(map[int]float64),
-		start:    start,
-		opts:     opts,
+		res:       &Result{Status: Limit, Objective: math.Inf(-1), Bound: bound0},
+		open:      &nodeHeap{},
+		inflight:  make(map[int]float64),
+		lostBound: math.Inf(-1),
+		start:     start,
+		opts:      opts,
 	}
 	st.cond = sync.NewCond(&st.mu)
 	heap.Init(st.open)
@@ -77,13 +82,26 @@ func solveParallel(p *Problem, opts Options) (*Result, error) {
 	if !st.stopped { // queues drained naturally
 		if st.bestX == nil {
 			res.Status = Infeasible
-			if !st.rootInfeasible && st.explored == 0 {
+			if !st.rootInfeasible && (st.explored == 0 || st.dropped) {
 				res.Status = Limit
 			}
+		} else if st.dropped {
+			// A subtree was abandoned unexplored (node LP hit its pivot cap
+			// or the deadline): exhaustion proves nothing, mirror the serial
+			// engine and stay Feasible.
+			res.Status = Feasible
 		} else {
 			res.Status = Optimal
 			res.Bound = res.Objective
 		}
+	}
+	if st.dropped {
+		// Dropped subtrees rejoin the proven bound on every exit path.
+		b := math.Max(res.Bound, st.lostBound)
+		if opts.BoundCap > 0 {
+			b = math.Min(b, opts.BoundCap)
+		}
+		res.Bound = b
 	}
 	if st.bestX != nil && res.Bound < res.Objective {
 		res.Bound = res.Objective
@@ -112,8 +130,12 @@ type parState struct {
 	bestX          []float64
 	explored       int
 	rootInfeasible bool
-	stopped        bool
-	err            error
+	dropped        bool
+	// lostBound is the best bound among dropped (unexplorable) nodes; the
+	// proven bound can never fall below it (see the serial engine).
+	lostBound float64
+	stopped   bool
+	err       error
 
 	start time.Time
 	opts  Options
@@ -212,8 +234,14 @@ func worker(id int, p *Problem, opts Options, st *parState, deadline time.Time, 
 			st.mu.Unlock()
 			return
 		}
-		if st.bestX != nil && nd.bound <= st.res.Objective+opts.RelGap*math.Abs(st.res.Objective)+opts.IntTol {
-			// Best remaining bound is no better than the incumbent.
+		// Effective proven bound: live frontier floored by dropped
+		// subtrees, unless the external cap alone certifies the incumbent
+		// (mirrors the serial engine).
+		eff := math.Max(st.lostBound, math.Min(nd.bound, st.res.Bound))
+		if opts.BoundCap > 0 {
+			eff = math.Min(eff, opts.BoundCap)
+		}
+		if st.bestX != nil && eff <= st.res.Objective+opts.RelGap*math.Abs(st.res.Objective)+opts.IntTol {
 			heap.Push(st.open, nd)
 			st.stop(Optimal)
 			st.mu.Unlock()
@@ -238,6 +266,11 @@ func worker(id int, p *Problem, opts Options, st *parState, deadline time.Time, 
 		if nd.depth == 0 && opts.WarmBasis != nil {
 			lpOpts.WarmBasis = opts.WarmBasis
 		}
+		// Same budget inheritance as the serial engine: an interrupted node
+		// LP returns IterLimit and is dropped, keeping TimeLimit honest.
+		if lpOpts.Deadline.IsZero() {
+			lpOpts.Deadline = deadline
+		}
 		sol, err := q.Solve(lpOpts)
 
 		st.mu.Lock()
@@ -255,6 +288,10 @@ func worker(id int, p *Problem, opts Options, st *parState, deadline time.Time, 
 			return
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			// The in-hand node left inflight above, so stop's sweep no longer
+			// sees its bound; fold it into lostBound like any dropped node.
+			st.dropped = true
+			st.lostBound = math.Max(st.lostBound, nd.bound)
 			st.stop(statusOnLimit(st.bestX))
 			st.mu.Unlock()
 			return
@@ -277,7 +314,10 @@ func worker(id int, p *Problem, opts Options, st *parState, deadline time.Time, 
 			finishNode()
 			return
 		case lp.IterLimit:
-			// Unexplorable; drop the node conservatively.
+			// Unexplorable within the pivot or wall-clock budget; drop the
+			// node conservatively and fold its bound into lostBound.
+			st.dropped = true
+			st.lostBound = math.Max(st.lostBound, nd.bound)
 			finishNode()
 			continue
 		}

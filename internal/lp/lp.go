@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // RowOp is a row's comparison operator.
@@ -294,6 +295,13 @@ type Options struct {
 	// the dense reference implementations (the pre-sparse behavior), for
 	// cross-checking the zero-skipping kernels.
 	ForceDense bool
+	// Deadline, when nonzero, aborts the solve with IterLimit once the wall
+	// clock passes it (checked every pivot; overshoot is bounded by one
+	// pivot plus one basis refactorization). Callers with a wall-clock
+	// budget — branch and bound under a TimeLimit — rely on it so one huge
+	// node LP cannot silently blow through the whole budget; at placement
+	// scale a single cold LP can otherwise run for minutes uninterrupted.
+	Deadline time.Time
 }
 
 func (o Options) withDefaults(p *Problem) Options {

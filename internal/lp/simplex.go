@@ -3,6 +3,7 @@ package lp
 import (
 	"errors"
 	"math"
+	"time"
 )
 
 // simplex is the bounded-variable revised primal/dual simplex engine.
@@ -374,11 +375,19 @@ func (s *simplex) etaUpdate(leave int) {
 	}
 }
 
-// iterate runs primal simplex pivots until optimal, unbounded, or the
-// iteration cap.
+// pastDeadline reports whether the optional wall-clock budget is spent.
+// Checked every pivot: on placement-scale models one pivot costs seconds —
+// far more than the clock read — so coarser sampling lets an interrupted
+// solve overshoot its budget by minutes.
+func (s *simplex) pastDeadline() bool {
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
+// iterate runs primal simplex pivots until optimal, unbounded, the
+// iteration cap, or the wall-clock deadline.
 func (s *simplex) iterate() (Status, error) {
 	for {
-		if s.iters >= s.opts.MaxIters {
+		if s.iters >= s.opts.MaxIters || s.pastDeadline() {
 			return IterLimit, nil
 		}
 		s.iters++

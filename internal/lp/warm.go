@@ -151,7 +151,7 @@ func (s *simplex) solveWarm(wb *Basis) (sol *Solution, ok bool) {
 func (s *simplex) dualIterate() (Status, error) {
 	tol := s.opts.Tol * 10
 	for {
-		if s.iters >= s.opts.MaxIters {
+		if s.iters >= s.opts.MaxIters || s.pastDeadline() {
 			return IterLimit, nil
 		}
 

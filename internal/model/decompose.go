@@ -1,0 +1,53 @@
+package model
+
+// Lagrangian-decomposition support: the coupling rows of the placement
+// program (per-stage memory, Eq. 11/25, and the shared backplane, Eq. 12)
+// are the only constraints that tie chains together — everything else
+// (once/fate/order/consistency, Eqs. 5–9) is local to one chain, and the
+// physical layout contributes no memory of its own (rules are charged where
+// they are placed; Eq. 4 is satisfiable by fill-in on stage 0, see
+// placement.SolveGreedy). Pricing those rows with multipliers therefore
+// separates the program into independent per-chain subproblems. This file
+// defines the resource units in which the relaxed rows are expressed.
+//
+// Under the non-consolidated model (Eq. 25) every box owns its blocks
+// outright: a box with F rules charges ceil(F/E) blocks against the B
+// blocks of its stage, additively across boxes, so per-block pricing is
+// exact — the Lagrangian bound relaxes nothing beyond the coupling itself.
+//
+// Under consolidation (Eq. 11) boxes of one type share block ceilings,
+// which is not additive per box. The decomposition prices the valid
+// surrogate row
+//
+//	Σ_i rules_is ≤ B·E            (per physical stage s)
+//
+// which every consolidated-feasible placement satisfies (from
+// Σ_i ceil(rules_is/E) ≤ B and ceil(r/E) ≥ r/E), so weak duality still
+// yields a true upper bound; the primal-repair pass re-checks the exact
+// block ceilings when it commits chains.
+
+// BoxLoad returns one box's demand against the relaxed per-stage capacity
+// row, in the units StageCapacity uses: whole blocks under the
+// non-consolidated model, raw rule entries under consolidation.
+func BoxLoad(b ChainNF, sw SwitchConfig, consolidate bool) float64 {
+	if consolidate {
+		return float64(b.Rules)
+	}
+	return float64(ceilDiv(b.Rules, sw.EntriesPerBlock))
+}
+
+// StageCapacity returns the per-stage capacity of the relaxed memory row in
+// BoxLoad's units: B blocks (exact, Eq. 25) or B·E entries (the Eq. 11
+// surrogate).
+func StageCapacity(sw SwitchConfig, consolidate bool) float64 {
+	if consolidate {
+		return float64(sw.BlocksPerStage * sw.EntriesPerBlock)
+	}
+	return float64(sw.BlocksPerStage)
+}
+
+// ChainProfit returns the chain's Eq. 1 objective contribution when
+// deployed: T_l · J_l.
+func ChainProfit(c *Chain) float64 {
+	return c.BandwidthGbps * float64(c.Len())
+}

@@ -30,8 +30,17 @@ type Result struct {
 	Metrics model.Metrics
 	// Objective is Eq. (1) of the placed assignment.
 	Objective float64
-	// Bound is the solver's proven upper bound (IP only; 0 otherwise).
+	// Bound is the solver's proven upper bound on the optimum: the
+	// branch-and-bound tree bound for SolveIP, the Lagrangian dual bound
+	// for SolveDecomposed (0 for the heuristics).
 	Bound float64
+	// Gap is the certified relative optimality gap
+	// (Bound − Objective)/Objective, clamped at 0. Exact solves that prove
+	// optimality report 0; decomposed solves report the gap their dual
+	// bound certifies.
+	Gap float64
+	// DualIters counts subgradient iterations (SolveDecomposed only).
+	DualIters int
 	// Elapsed is the algorithm's wall-clock time.
 	Elapsed time.Duration
 	// Status describes how the solver finished.
@@ -75,6 +84,17 @@ type IPOptions struct {
 	// match the built model is ignored and the root solves cold — the
 	// fallback is deterministic, never wrong.
 	WarmBasis *lp.Basis
+	// BoundCap, when positive, is an externally certified upper bound on
+	// the optimum (e.g. SolveDecomposed's Bound): branch and bound reports
+	// Bound = min(tree bound, cap) and stops as Optimal once the incumbent
+	// is within RelGap of it. Zero disables it; passing an unproven value
+	// weakens the optimality claim accordingly (see ilp.Options.BoundCap).
+	BoundCap float64
+	// RelGap is the relative optimality tolerance for termination
+	// (ilp.Options.RelGap; 0 = solver default 1e-6). Loosening it pairs
+	// naturally with BoundCap: stop once the incumbent provably sits within
+	// this fraction of the certified bound.
+	RelGap float64
 }
 
 // exactConsistencyLimit bounds the instance size (Σ_l J_l · K) for which
@@ -147,6 +167,8 @@ func SolveIP(in *model.Instance, opts IPOptions) (*Result, error) {
 		Heuristic:    heuristic,
 		Workers:      opts.Workers,
 		WarmBasis:    opts.WarmBasis,
+		BoundCap:     opts.BoundCap,
+		RelGap:       opts.RelGap,
 	})
 	if err != nil {
 		return nil, err
@@ -169,6 +191,7 @@ func SolveIP(in *model.Instance, opts IPOptions) (*Result, error) {
 		out.Assignment = a
 		out.Metrics = model.ComputeMetrics(in, a, opts.Build.Consolidate)
 		out.Objective = out.Metrics.Objective
+		out.Gap = relGap(out.Bound, out.Objective)
 	case ilp.Infeasible:
 		// The model always admits the empty placement when Eq. 4 can be
 		// satisfied; infeasibility means the physical side cannot exist.

@@ -78,6 +78,13 @@ type ReplanStats struct {
 	// Nodes is the branch-and-bound node count (0 when the solve was
 	// skipped because nothing was waiting).
 	Nodes int
+	// Decomposed is true when a MaybeReconfigure full re-optimization ran
+	// the Lagrangian decomposition instead of the exact IP.
+	Decomposed bool
+	// Gap is the certified relative optimality gap of the most recent
+	// MaybeReconfigure full solve: 0 for proven-optimal exact solves,
+	// (dual bound − objective)/objective for decomposed ones.
+	Gap float64
 	// Elapsed is the replan's wall-clock time.
 	Elapsed time.Duration
 }
@@ -271,6 +278,16 @@ type ReplanOptions struct {
 	// solve's root LP (lp.Options.WarmBasis semantics: a shape-mismatched
 	// basis is ignored and the root solves cold, deterministically).
 	WarmBasis *lp.Basis
+	// SolverWorkers sets the worker count for the embedded solves:
+	// branch-and-bound workers on the IP paths, pricing workers on
+	// MaybeReconfigure's decomposed path. 0 or 1 is the serial
+	// deterministic reference; results are identical at any count.
+	SolverWorkers int
+	// DecomposeAbove routes MaybeReconfigure's full re-optimization to the
+	// Lagrangian decomposition (SolveDecomposed) once the total chain count
+	// reaches it: the exact IP below, feasibility + certified gap above.
+	// 0 means DefaultDecomposeAbove; negative always solves exactly.
+	DecomposeAbove int
 }
 
 // Replan places waiting candidates into the released resources: survivors
@@ -340,6 +357,7 @@ func (u *Updater) replanFast(opts ReplanOptions, start time.Time) (model.Metrics
 		MaxNodes:  opts.MaxNodes,
 		CeilVars:  f.resid.AuxVars(),
 		WarmBasis: wb,
+		Workers:   opts.SolverWorkers,
 	})
 	if err != nil {
 		return model.Metrics{}, err
@@ -421,6 +439,7 @@ func (u *Updater) replanFull(opts ReplanOptions, start time.Time) (model.Metrics
 		PriorityVars: enc.XVars(),
 		CeilVars:     enc.AuxVars(),
 		WarmBasis:    wb,
+		Workers:      opts.SolverWorkers,
 	})
 	if err != nil {
 		return model.Metrics{}, err
@@ -502,24 +521,61 @@ func (u *Updater) ReplanGreedy() (model.Metrics, error) {
 // real deployment rewrites extensive rules or reboots the switch). It
 // returns whether reconfiguration happened and the resulting metrics.
 //
-// Successive MaybeReconfigure calls over an unchanged chain set share the
-// full model's shape, so the solve warm-starts from the previous root basis
-// (or from opts.WarmBasis); a changed chain set changes the shape and the
-// root deterministically solves cold.
+// Below the DecomposeAbove threshold the re-optimization is the exact IP;
+// successive calls over an unchanged chain set share the full model's
+// shape, so the solve warm-starts from the previous root basis (or from
+// opts.WarmBasis), and a changed chain set changes the shape and the root
+// deterministically solves cold. At or above the threshold the Lagrangian
+// decomposition (SolveDecomposed) runs instead: the reference point is then
+// a feasible placement with a certified optimality gap rather than a proven
+// optimum. Either way LastReplan reports the solve's certified Gap.
 func (u *Updater) MaybeReconfigure(threshold float64, opts ReplanOptions) (bool, model.Metrics, error) {
+	start := time.Now()
 	in, cur, ids := u.snapshot()
 	curM := model.ComputeMetrics(in, cur, u.build.Consolidate)
-	wb := opts.WarmBasis
-	if wb == nil {
-		wb = u.fullBasis
+	stats := ReplanStats{FullRebuild: true, Rebuilt: true, InModel: len(in.Chains)}
+	above := opts.DecomposeAbove
+	if above == 0 {
+		above = DefaultDecomposeAbove
 	}
-	full, err := SolveIP(in, IPOptions{Build: u.build, TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, WarmBasis: wb})
-	if err != nil {
-		return false, curM, err
+	var full *Result
+	var err error
+	if above > 0 && len(in.Chains) >= above {
+		full, err = SolveDecomposed(in, DecomposeOptions{
+			Build:     u.build,
+			TimeLimit: opts.TimeLimit,
+			Workers:   opts.SolverWorkers,
+		})
+		if err != nil {
+			return false, curM, err
+		}
+		stats.Decomposed = true
+	} else {
+		wb := opts.WarmBasis
+		if wb == nil {
+			wb = u.fullBasis
+		}
+		full, err = SolveIP(in, IPOptions{
+			Build:     u.build,
+			TimeLimit: opts.TimeLimit,
+			MaxNodes:  opts.MaxNodes,
+			Workers:   opts.SolverWorkers,
+			WarmBasis: wb,
+		})
+		if err != nil {
+			return false, curM, err
+		}
+		u.fullBasis = full.RootBasis
+		stats.WarmStarted = full.RootWarmed
+		stats.Nodes = full.Nodes
 	}
-	u.fullBasis = full.RootBasis
-	u.stats.WarmStarted = full.RootWarmed
+	stats.Gap = full.Gap
+	finish := func() {
+		stats.Elapsed = time.Since(start)
+		u.stats = stats
+	}
 	if full.Assignment == nil || curM.Objective >= threshold*full.Objective {
+		finish()
 		return false, curM, nil
 	}
 	// Adopt the global solution wholesale.
@@ -528,6 +584,7 @@ func (u *Updater) MaybeReconfigure(threshold float64, opts ReplanOptions) (bool,
 	for l, id := range ids {
 		if full.Assignment.Deployed(l) {
 			u.live[id] = append([]int(nil), full.Assignment.Stages[l]...)
+			stats.Admitted++
 		} else {
 			u.waiting[id] = true
 		}
@@ -538,5 +595,6 @@ func (u *Updater) MaybeReconfigure(threshold float64, opts ReplanOptions) (bool,
 	// The adopted placement replaced the live set and layout wholesale; the
 	// retained incremental program no longer describes them.
 	u.fast = nil
+	finish()
 	return true, full.Metrics, nil
 }
