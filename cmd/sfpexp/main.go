@@ -82,6 +82,10 @@ func main() {
 		// provisioning scale (also gated in scripts/check.sh bench as
 		// BENCH_fullsolve.json).
 		{"fullsolve", func() (*experiments.Table, error) { return experiments.FullSolve(sc) }},
+		// Not part of "all": steady-state churn acceptance/utilization vs
+		// offered load (the 100k-tenant variant is gated in scripts/check.sh
+		// bench as BENCH_lifecycle.json).
+		{"lifecycle", func() (*experiments.Table, error) { return experiments.Lifecycle(sc) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -101,7 +105,7 @@ func main() {
 		fmt.Println()
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling, replanscale, fullsolve)\n", *figs)
+		fmt.Fprintf(os.Stderr, "sfpexp: no figures matched %q (valid: 4..11, savings, latency-load, churn, scaling, replanscale, fullsolve, lifecycle)\n", *figs)
 		os.Exit(2)
 	}
 }

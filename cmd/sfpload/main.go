@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"sfp/internal/lifecycle"
 	"sfp/internal/nf"
 	"sfp/internal/p4rt"
 	"sfp/internal/packet"
@@ -39,6 +40,8 @@ func main() {
 		pipeln   = flag.Bool("pipeline", false, "pipeline injections asynchronously on each connection (fills the client's in-flight window instead of one synchronous RPC per packet)")
 		arrivals = flag.Int("arrivals", 0, "provisioning mode: drive this many tenant arrivals (then departures) through the southbound API and report arrivals/sec instead of injecting traffic")
 		batch    = flag.Int("batch", 0, "sub-ops per MsgBatch frame in provisioning mode, pipelined on one connection (0 = one synchronous RPC per op)")
+		churnN   = flag.Int("lifecycle", 0, "lifecycle churn mode: fill the switch to this many live tenants with the seeded lifecycle workload, then churn it (batched allocates/deallocates) and report acceptance and batch latency")
+		ticks    = flag.Int("ticks", 20, "churn ticks in lifecycle mode")
 	)
 	flag.Parse()
 
@@ -49,6 +52,13 @@ func main() {
 	defer cli.Close()
 	if err := cli.Ping(); err != nil {
 		fatal(fmt.Errorf("ping: %w", err))
+	}
+
+	if *churnN > 0 {
+		if err := lifecycleChurn(cli, *churnN, *ticks, *seed); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	vip := packet.IPv4Addr(20, 0, 0, 1)
@@ -141,6 +151,195 @@ func demoSFC(tenant uint32, vip uint32) *vswitch.SFC {
 			}}},
 		},
 	}
+}
+
+// lifecycleChurn replays the same seeded tenant-churn workload the
+// in-process engine (internal/lifecycle) uses, but against a live sfpd
+// over the southbound API: every physical NF type is pre-installed, the
+// switch fills to target live tenants, and each churn tick issues one
+// batched deallocate frame (the tick's expired TTLs) and one batched
+// allocate frame (the tick's Poisson arrivals). The switch's own folding
+// decides admission, so acceptance reflects the remote switch's capacity,
+// not the local model's.
+func lifecycleChurn(cli *p4rt.Client, target, ticks int, seed int64) error {
+	layout, err := cli.Layout()
+	if err != nil {
+		return fmt.Errorf("layout: %w", err)
+	}
+	stages := len(layout)
+	if stages == 0 {
+		return fmt.Errorf("remote switch reports zero stages")
+	}
+
+	cfg := lifecycle.Smoke()
+	cfg.Seed = seed
+	cfg.TargetLive = target
+	cfg = cfg.WithDefaults()
+	// The latency-SLO admission check uses the remote stage count with the
+	// default latency constants (the same model sfpd simulates).
+	latCfg := pipeline.DefaultConfig()
+	latCfg.Stages = stages
+
+	// Every NF type must exist physically before tenants can fold onto
+	// it; spread the catalogue round-robin across the stages. Capacity is
+	// sized for the worst-case rules the target population can install.
+	perType := target*cfg.RuleMax*cfg.ChainLenMax/nf.TypeCount + 100
+	for i := 0; i < nf.TypeCount; i++ {
+		typ := nf.Type(1 + i)
+		if err := cli.InstallPhysical(i%stages, typ, perType); err != nil {
+			fmt.Fprintf(os.Stderr, "sfpload: install %v@%d: %v (continuing)\n", typ, i%stages, err)
+		}
+	}
+
+	gen := lifecycle.NewGen(cfg)
+	var heap expiries
+	now := 0.0
+	live, offered, accepted := 0, 0, 0
+	var batchMs []float64
+
+	// alloc offers one batch and schedules TTLs for the accepted part.
+	alloc := func(ts []*lifecycle.Tenant) (int, error) {
+		ops := make([]p4rt.BatchOp, 0, len(ts))
+		kept := make([]*lifecycle.Tenant, 0, len(ts))
+		for _, t := range ts {
+			if lifecycle.MinLatencyNs(latCfg, len(t.SFC.NFs)) > t.SLONs {
+				continue // SLO rejection, never offered southbound
+			}
+			ops = append(ops, p4rt.OpAllocate(t.SFC))
+			kept = append(kept, t)
+		}
+		if len(ops) == 0 {
+			return 0, nil
+		}
+		start := time.Now()
+		results, err := cli.Batch(ops)
+		if err != nil {
+			return 0, fmt.Errorf("allocate batch: %w", err)
+		}
+		batchMs = append(batchMs, float64(time.Since(start).Microseconds())/1000)
+		placed := 0
+		for i, res := range results {
+			if !res.OK {
+				continue
+			}
+			placed++
+			heap.push(expiry{at: now + kept[i].TTL, tenant: kept[i].SFC.Tenant})
+		}
+		return placed, nil
+	}
+
+	for live < target {
+		n := cfg.FillBatch
+		if left := target - live; n > left {
+			n = left
+		}
+		placed, err := alloc(gen.Batch(n))
+		if err != nil {
+			return err
+		}
+		if placed == 0 {
+			fmt.Printf("fill saturated at %d live (target %d)\n", live, target)
+			break
+		}
+		live += placed
+	}
+	fmt.Printf("filled to %d live tenants\n", live)
+
+	rate := float64(target) / cfg.MeanTTL
+	start := time.Now()
+	for tick := 0; tick < ticks; tick++ {
+		now += cfg.Tick
+		var ops []p4rt.BatchOp
+		for len(heap) > 0 && heap[0].at <= now {
+			ops = append(ops, p4rt.OpDeallocate(heap.pop().tenant))
+		}
+		if len(ops) > 0 {
+			t0 := time.Now()
+			if _, err := cli.Batch(ops); err != nil {
+				return fmt.Errorf("deallocate batch: %w", err)
+			}
+			batchMs = append(batchMs, float64(time.Since(t0).Microseconds())/1000)
+			live -= len(ops)
+		}
+		batch := gen.Batch(gen.Poisson(rate * cfg.Tick))
+		placed, err := alloc(batch)
+		if err != nil {
+			return err
+		}
+		live += placed
+		offered += len(batch)
+		accepted += placed
+	}
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(batchMs)
+	ratio := 1.0
+	if offered > 0 {
+		ratio = float64(accepted) / float64(offered)
+	}
+	fmt.Printf("lifecycle churn: %d ticks in %.3fs, %d live at end\n", ticks, elapsed, live)
+	fmt.Printf("  offered %d, accepted %d (ratio %.3f)\n", offered, accepted, ratio)
+	fmt.Printf("  southbound batch latency p50 %.2fms p99 %.2fms\n", pct(batchMs, 0.50), pct(batchMs, 0.99))
+	st, err := cli.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  switch: %d tenants, %d entries used\n", st.Tenants, st.EntriesUsed)
+	return nil
+}
+
+// expiries is a minimal binary min-heap of scheduled departures (ordered
+// by expiry time, tenant ID as the deterministic tie-break).
+type expiries []expiry
+
+type expiry struct {
+	at     float64
+	tenant uint32
+}
+
+func (h expiries) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].tenant < h[j].tenant
+}
+
+func (h *expiries) push(e expiry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *expiries) pop() expiry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h.less(l, s) {
+			s = l
+		}
+		if r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		(*h)[i], (*h)[s] = (*h)[s], (*h)[i]
+		i = s
+	}
+	return top
 }
 
 // provision measures southbound provisioning throughput: n tenant

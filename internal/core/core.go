@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sfp/internal/model"
@@ -148,6 +150,10 @@ type Controller struct {
 	log *wal.Log
 	// recs counts committed records since the last snapshot rotation.
 	recs int
+	// snapBusy is set while a background snapshot (capture already taken)
+	// is being serialized and rotated in; snapWG lets Close drain it.
+	snapBusy atomic.Bool
+	snapWG   sync.WaitGroup
 }
 
 // logf forwards to Options.Logf when set.
@@ -571,6 +577,100 @@ func (c *Controller) Depart(tenant uint32) error {
 		return err
 	}
 	c.hook("depart:committed")
+	return nil
+}
+
+// DepartMany removes a batch of tenants from both planes, equivalent to
+// sequential Depart calls but amortized: one journaled transaction (one
+// begin fsync, one commit fsync), one batched deallocate pass over the
+// data plane's tables, and one cheap residual patch per tenant in the
+// planner — no solve. Like Depart it journals the intent before touching
+// the switch, and on a planner refusal partway through it restores the
+// remaining tenants' rules from the captured undo state and commits only
+// the prefix that fully departed, so both planes stay consistent.
+func (c *Controller) DepartMany(tenants []uint32) error {
+	if c.updater == nil {
+		return fmt.Errorf("core: not provisioned")
+	}
+	if len(tenants) == 0 {
+		return nil
+	}
+	seen := make(map[uint32]bool, len(tenants))
+	entries := make([]departRec, 0, len(tenants))
+	var placedTenants []uint32
+	for _, t := range tenants {
+		if _, known := c.sfcs[t]; !known {
+			return fmt.Errorf("core: unknown tenant %d", t)
+		}
+		if seen[t] {
+			return fmt.Errorf("core: tenant %d appears twice in batch", t)
+		}
+		seen[t] = true
+		placed := c.placed[t]
+		entries = append(entries, departRec{Tenant: t, Placed: placed})
+		if placed {
+			placedTenants = append(placedTenants, t)
+		}
+	}
+	if err := c.journalCommit(recDepartManyBegin, &departManyRec{Entries: entries}); err != nil {
+		return err
+	}
+	c.hook("departmany:journaled")
+	// Capture the undo state before touching the switch: DeallocateBatch
+	// frees the rules, so any restore must come from copies.
+	undos := make(map[uint32]*vswitch.Allocation, len(placedTenants))
+	for _, t := range placedTenants {
+		undos[t] = c.v.Allocations(t)
+	}
+	// One pass over every table removes the whole batch; all-or-nothing,
+	// so a failure here leaves the switch unchanged.
+	if err := c.v.DeallocateBatch(placedTenants); err != nil {
+		c.abort(recDepartManyAbort)
+		return err
+	}
+	c.hook("departmany:deallocated")
+	// Patch the planner: each departure is a cheap residual delta, no
+	// solve. A refusal partway splits the batch — the prefix has fully
+	// departed, the rest get their rules restored and stay live.
+	for i, e := range entries {
+		var perr error
+		if e.Placed {
+			perr = c.updater.Depart(int(e.Tenant))
+		} else {
+			c.updater.Withdraw(int(e.Tenant))
+		}
+		if perr == nil {
+			delete(c.placed, e.Tenant)
+			delete(c.sfcs, e.Tenant)
+			continue
+		}
+		// Restore the data-plane rules of this and every remaining placed
+		// tenant; the planner still considers them live.
+		err := perr
+		for _, rest := range entries[i:] {
+			undo := undos[rest.Tenant]
+			if !rest.Placed || undo == nil {
+				continue
+			}
+			if _, rerr := c.v.AllocateAt(undo.Spec, undo.Placements); rerr != nil {
+				err = fmt.Errorf("%w (restoring tenant %d also failed: %v)", err, rest.Tenant, rerr)
+			}
+		}
+		departed := make([]uint32, 0, i)
+		for _, done := range entries[:i] {
+			departed = append(departed, done.Tenant)
+		}
+		c.hook("departmany:precommit")
+		if jerr := c.journalCommit(recDepartManyCommit, &abortRec{Tenants: departed}); jerr != nil {
+			c.logf("core: journaling partial departmany commit: %v", jerr)
+		}
+		return err
+	}
+	c.hook("departmany:precommit")
+	if err := c.journalCommit(recDepartManyCommit, nil); err != nil {
+		return err
+	}
+	c.hook("departmany:committed")
 	return nil
 }
 

@@ -36,6 +36,9 @@ const (
 	recReconfigBegin
 	recReconfigCommit
 	recReconfigAbort
+	recDepartManyBegin
+	recDepartManyCommit
+	recDepartManyAbort
 )
 
 // liveEntry records one live chain's virtual stages.
@@ -81,6 +84,15 @@ type departRec struct {
 	Placed bool   `json:"placed,omitempty"`
 }
 
+// departManyRec is a batch-departure begin record: every tenant the batch
+// removes and whether each held data-plane rules. The matching commit
+// record removes them all; a commit carrying an abortRec payload removes
+// only the listed prefix (the planner refused partway and the rest were
+// restored).
+type departManyRec struct {
+	Entries []departRec `json:"entries"`
+}
+
 // encodeRec frames one journal record: kind byte + JSON payload (nil
 // payload for bare commit/abort markers).
 func encodeRec(kind byte, payload any) ([]byte, error) {
@@ -109,7 +121,10 @@ func (c *Controller) journal(kind byte, payload any) error {
 }
 
 // journalCommit makes everything staged so far (plus this record, when
-// kind != 0) durable under one fsync.
+// kind != 0) durable under one fsync. The "journal:staged" hook fires
+// inside the group-commit window — records appended but not yet synced —
+// so the fault harness can crash the controller with an intent that never
+// became durable.
 func (c *Controller) journalCommit(kind byte, payload any) error {
 	if c.log == nil {
 		return nil
@@ -119,17 +134,41 @@ func (c *Controller) journalCommit(kind byte, payload any) error {
 			return err
 		}
 	}
+	c.hook("journal:staged")
 	if err := c.log.Commit(); err != nil {
 		return err
 	}
 	c.recs++
-	c.maybeSnapshot()
+	if txnBoundary(kind) {
+		c.maybeSnapshot()
+	}
 	return nil
 }
 
+// txnBoundary reports whether a journal record kind ends a transaction.
+// Snapshot rotation must only happen at these points: a rotation
+// triggered by a BEGIN record would capture the pre-transaction state
+// while the matching commit lands in the marked tail — on replay that
+// commit dangles (its begin was folded into the snapshot) and the
+// transaction's effects are silently lost.
+func txnBoundary(kind byte) bool {
+	switch kind {
+	case recProvisionBegin, recPlaceBegin, recDepartBegin,
+		recReconfigBegin, recDepartManyBegin:
+		return false
+	}
+	return true
+}
+
 // maybeSnapshot rotates the journal onto a fresh snapshot once enough
-// records accumulated. Best-effort: a failed rotation keeps journaling to
-// the current (longer) generation.
+// records accumulated. The state view is captured synchronously (cheap
+// copies, no serialization) together with a wal.Mark, and the expensive
+// part — JSON-encoding every live SFC and writing the snapshot
+// generation — runs in a background goroutine, off the mutation path.
+// Records committed while the snapshot is being written are retained by
+// the marked log and carried into the new generation, so nothing is lost.
+// Best-effort: a failed rotation keeps journaling to the current (longer)
+// generation.
 func (c *Controller) maybeSnapshot() {
 	every := c.opts.SnapshotEvery
 	if every == 0 {
@@ -138,13 +177,33 @@ func (c *Controller) maybeSnapshot() {
 	if every < 0 || c.recs < every {
 		return
 	}
-	if err := c.snapshotNow(); err != nil {
-		c.logf("core: journal snapshot failed: %v", err)
+	if c.snapBusy.Load() {
+		// The previous snapshot is still serializing; keep accumulating.
+		return
 	}
+	if err := c.log.Mark(); err != nil {
+		c.logf("core: journal snapshot mark failed: %v", err)
+		return
+	}
+	st := c.stateRecNow()
+	c.recs = 0
+	c.snapBusy.Store(true)
+	c.snapWG.Add(1)
+	go func() {
+		defer c.snapWG.Done()
+		defer c.snapBusy.Store(false)
+		rec, err := encodeRec(recSnapshot, st)
+		if err == nil {
+			err = c.log.Rotate(rec)
+		}
+		if err != nil {
+			c.logf("core: journal snapshot failed: %v", err)
+		}
+	}()
 }
 
-// snapshotNow writes the controller's full state as a new snapshot
-// generation and resets the record counter.
+// snapshotNow synchronously writes the controller's full state as a new
+// snapshot generation and resets the record counter.
 func (c *Controller) snapshotNow() error {
 	if c.log == nil {
 		return nil

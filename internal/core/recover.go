@@ -24,10 +24,11 @@ type replayState struct {
 	layout      [][]bool
 	info        ProvisionInfo
 
-	pendKind   byte
-	pendState  *stateRec
-	pendPlace  *placeRec
-	pendDepart *departRec
+	pendKind       byte
+	pendState      *stateRec
+	pendPlace      *placeRec
+	pendDepart     *departRec
+	pendDepartMany *departManyRec
 }
 
 func newReplayState() *replayState {
@@ -39,7 +40,7 @@ func newReplayState() *replayState {
 }
 
 func (s *replayState) clearPending() {
-	s.pendKind, s.pendState, s.pendPlace, s.pendDepart = 0, nil, nil, nil
+	s.pendKind, s.pendState, s.pendPlace, s.pendDepart, s.pendDepartMany = 0, nil, nil, nil, nil
 }
 
 // placed-set derivation modes for adoptState.
@@ -214,6 +215,41 @@ func (s *replayState) apply(rec []byte) error {
 	case recDepartAbort:
 		s.clearPending()
 
+	case recDepartManyBegin:
+		var d departManyRec
+		if err := json.Unmarshal(body, &d); err != nil {
+			return fmt.Errorf("core: replay departmany begin: %w", err)
+		}
+		s.pendKind, s.pendDepartMany = kind, &d
+
+	case recDepartManyCommit:
+		if s.pendKind == recDepartManyBegin && s.pendDepartMany != nil {
+			// A bare commit removes the whole batch; a commit carrying
+			// an abortRec removes only the listed tenants (the planner
+			// refused partway and the rest were restored in place).
+			departed := make([]uint32, 0, len(s.pendDepartMany.Entries))
+			if len(body) > 0 {
+				var a abortRec
+				if err := json.Unmarshal(body, &a); err != nil {
+					return fmt.Errorf("core: replay departmany commit: %w", err)
+				}
+				departed = a.Tenants
+			} else {
+				for _, e := range s.pendDepartMany.Entries {
+					departed = append(departed, e.Tenant)
+				}
+			}
+			for _, t := range departed {
+				delete(s.sfcs, t)
+				delete(s.live, t)
+				delete(s.placed, t)
+			}
+		}
+		s.clearPending()
+
+	case recDepartManyAbort:
+		s.clearPending()
+
 	default:
 		return fmt.Errorf("core: unknown journal record kind %d", kind)
 	}
@@ -334,12 +370,14 @@ func (c *Controller) WaitingCount() int {
 	return c.updater.Waiting()
 }
 
-// Close flushes and closes the journal. The controller must not be used
-// afterwards. A nil-journal (non-durable) controller closes trivially.
+// Close drains any in-flight background snapshot, then flushes and closes
+// the journal. The controller must not be used afterwards. A nil-journal
+// (non-durable) controller closes trivially.
 func (c *Controller) Close() error {
 	if c.log == nil {
 		return nil
 	}
+	c.snapWG.Wait()
 	err := c.log.Close()
 	c.log = nil
 	return err

@@ -26,6 +26,7 @@ func scenario() []scenOp {
 	batch1 := arrivalBatch(2, 2, 100)
 	batch2 := arrivalBatch(3, 1, 200)
 	departT := prov[0].Tenant
+	departManyT := []uint32{batch1[0].Tenant, batch1[1].Tenant}
 
 	provision := func(c *Controller) error {
 		if c.Provisioned() {
@@ -53,6 +54,17 @@ func scenario() []scenOp {
 		}
 		return c.Depart(departT)
 	}
+	departMany := func(c *Controller) error {
+		// Idempotent re-issue: only whatever part of the batch the
+		// journal does not already prove departed.
+		var left []uint32
+		for _, t := range departManyT {
+			if c.Known(t) {
+				left = append(left, t)
+			}
+		}
+		return c.DepartMany(left)
+	}
 	replan := func(c *Controller) error {
 		_, err := c.Replan()
 		return err
@@ -65,6 +77,7 @@ func scenario() []scenOp {
 		{"arrive-single", func(c *Controller) error { _, err := c.ArriveMany(batch2); return err },
 			arrive(func() []*vswitch.SFC { return arrivalBatch(3, 1, 200) })},
 		{"depart", depart, depart},
+		{"departmany", departMany, departMany},
 		{"replan", replan, replan},
 	}
 }

@@ -112,6 +112,13 @@ type Scale struct {
 	// FullSolveExactCapSec caps each exact-IP reference solve in the
 	// full-solve experiment (0 = FullSolve's default).
 	FullSolveExactCapSec float64
+	// LifecycleTarget is the steady-state live-tenant population of the
+	// lifecycle churn experiment (0 = Lifecycle's default).
+	LifecycleTarget int
+	// LifecycleLoads sweeps the offered-load multiplier (arrival rate ÷
+	// the rate that holds the population at LifecycleTarget). Zero means
+	// Lifecycle's defaults.
+	LifecycleLoads []float64
 }
 
 // QuickScale returns a configuration that regenerates every figure's shape
@@ -140,6 +147,8 @@ func QuickScale() Scale {
 		ReplanScaleLives:     []int{250, 500, 1000},
 		FullSolveLs:          []int{60, 120, 250},
 		FullSolveExactCapSec: 5,
+		LifecycleTarget:      1500,
+		LifecycleLoads:       []float64{0.6, 0.8, 1.0, 1.2, 1.5},
 	}
 }
 
@@ -168,6 +177,8 @@ func PaperScale() Scale {
 		ReplanScaleLives:     []int{1000, 2000, 4000},
 		FullSolveLs:          []int{1000, 2000, 4000},
 		FullSolveExactCapSec: 30,
+		LifecycleTarget:      20000,
+		LifecycleLoads:       []float64{0.6, 0.8, 1.0, 1.2, 1.5, 2.0},
 	}
 }
 

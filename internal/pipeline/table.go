@@ -273,10 +273,27 @@ func exactValuesEqual(a, b *Rule) bool {
 // — the other tenants' shards and exact buckets are left untouched, so churn
 // cost is proportional to the departing tenant's rules, not the table size.
 func (t *Table) DeleteTenant(tenant uint32) int {
+	return t.deleteWhere(func(r *Rule) bool { return r.Tenant == tenant })
+}
+
+// DeleteTenants removes every rule owned by any tenant in the set and
+// returns how many entries were freed. A batch of departures costs one
+// pass over the table's rules instead of one per departing tenant.
+func (t *Table) DeleteTenants(tenants map[uint32]bool) int {
+	if len(tenants) == 0 {
+		return 0
+	}
+	return t.deleteWhere(func(r *Rule) bool { return tenants[r.Tenant] })
+}
+
+// deleteWhere removes every rule matching the predicate in one pass,
+// unindexing each removed rule. Only the removed rules' index entries are
+// touched — the other tenants' shards and exact buckets are left alone.
+func (t *Table) deleteWhere(match func(*Rule) bool) int {
 	kept := t.rules[:0]
 	freed := 0
 	for _, r := range t.rules {
-		if r.Tenant != tenant {
+		if !match(r) {
 			kept = append(kept, r)
 			continue
 		}

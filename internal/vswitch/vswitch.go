@@ -480,6 +480,41 @@ func (v *VSwitch) Deallocate(tenant uint32) error {
 	return nil
 }
 
+// DeallocateBatch removes a batch of tenants in one pass over every table,
+// so a batch of N departures costs one rules scan per table instead of N.
+// The batch is all-or-nothing: every tenant is validated (allocated, no
+// duplicates) before any rule is touched, so an error leaves the switch
+// unchanged.
+func (v *VSwitch) DeallocateBatch(tenants []uint32) error {
+	if len(tenants) == 0 {
+		return nil
+	}
+	set := make(map[uint32]bool, len(tenants))
+	for _, tn := range tenants {
+		if _, ok := v.byTenant[tn]; !ok {
+			return fmt.Errorf("vswitch: tenant %d has no allocation", tn)
+		}
+		if set[tn] {
+			return fmt.Errorf("vswitch: tenant %d duplicated in batch", tn)
+		}
+		set[tn] = true
+	}
+	for _, stage := range v.Pipe.Stages {
+		for _, t := range stage.Tables {
+			t.DeleteTenants(set)
+		}
+	}
+	for _, tn := range tenants {
+		alloc := v.byTenant[tn]
+		v.bandwidthUsed -= float64(alloc.Passes) * alloc.BandwidthGbps
+		delete(v.byTenant, tn)
+	}
+	if v.bandwidthUsed < 0 {
+		v.bandwidthUsed = 0
+	}
+	return nil
+}
+
 // Compiled returns the pipeline's compiled fast path, building and caching
 // it on first use. The cache survives rule churn (allocate/deallocate) and
 // is invalidated by physical-NF install/remove. Safe for concurrent use;
